@@ -1,0 +1,38 @@
+//! Off-line analysis for the prefetching study: the §5.1 stride-sequence
+//! characterization behind Tables 2–4, the relative metrics of Figure 6,
+//! and plain-text table rendering shared by the experiment binaries.
+//!
+//! The characterization takes the read-miss stream of one processor
+//! (recorded by the simulator on a baseline run) and measures the three
+//! "key application parameters" the paper uses to predict prefetching
+//! effectiveness:
+//!
+//! 1. the fraction of read misses that belong to stride sequences,
+//! 2. the average length of those sequences, and
+//! 3. the strides themselves (dominant stride in blocks).
+//!
+//! # Examples
+//!
+//! ```
+//! use pfsim_analysis::{characterize, MissEvent};
+//! use pfsim_mem::{BlockAddr, Pc};
+//!
+//! // A stride-2 sequence of five misses from one load instruction.
+//! let misses: Vec<MissEvent> = (0..5)
+//!     .map(|k| MissEvent { pc: Pc::new(0x40), block: BlockAddr::new(100 + 2 * k) })
+//!     .collect();
+//! let ch = characterize(&misses);
+//! assert_eq!(ch.total_misses, 5);
+//! assert_eq!(ch.misses_in_sequences, 5);
+//! assert_eq!(ch.dominant_strides()[0].0, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod stride;
+mod table;
+
+pub use metrics::{compare, RunMetrics, SchemeComparison};
+pub use stride::{characterize, Characterization, MissEvent};
+pub use table::TextTable;

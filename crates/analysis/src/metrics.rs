@@ -1,0 +1,117 @@
+//! The relative metrics of Figure 6.
+
+/// Aggregate numbers from one simulation run, in scheme-agnostic form.
+///
+/// The experiment drivers convert the simulator's result structure into
+/// this and feed pairs of runs to [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Demand read misses.
+    pub read_misses: u64,
+    /// Read stall cycles.
+    pub read_stall: u64,
+    /// Prefetches issued.
+    pub prefetches_issued: u64,
+    /// Prefetches consumed by demand references.
+    pub prefetches_useful: u64,
+    /// Network flits injected (traffic).
+    pub flits: u64,
+    /// Execution time in pclocks.
+    pub exec_cycles: u64,
+}
+
+/// One scheme's Figure-6 numbers relative to the baseline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeComparison {
+    /// Read misses relative to baseline (Figure 6, top).
+    pub relative_misses: f64,
+    /// Prefetch efficiency: useful / issued (Figure 6, middle).
+    pub efficiency: f64,
+    /// Read stall time relative to baseline (Figure 6, bottom).
+    pub relative_stall: f64,
+    /// Network traffic (flits) relative to baseline.
+    pub relative_traffic: f64,
+    /// Execution time relative to baseline.
+    pub relative_exec: f64,
+}
+
+/// Computes one scheme's bars of Figure 6 against the baseline.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_analysis::{compare, RunMetrics};
+///
+/// let base = RunMetrics {
+///     read_misses: 100, read_stall: 1000, prefetches_issued: 0,
+///     prefetches_useful: 0, flits: 500, exec_cycles: 10_000,
+/// };
+/// let seq = RunMetrics {
+///     read_misses: 72, read_stall: 820, prefetches_issued: 90,
+///     prefetches_useful: 40, flits: 800, exec_cycles: 9_500,
+/// };
+/// let c = compare(&base, &seq);
+/// assert!((c.relative_misses - 0.72).abs() < 1e-9);
+/// assert!((c.efficiency - 40.0 / 90.0).abs() < 1e-9);
+/// ```
+pub fn compare(baseline: &RunMetrics, scheme: &RunMetrics) -> SchemeComparison {
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            if num == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    SchemeComparison {
+        relative_misses: ratio(scheme.read_misses, baseline.read_misses),
+        efficiency: if scheme.prefetches_issued == 0 {
+            1.0
+        } else {
+            scheme.prefetches_useful as f64 / scheme.prefetches_issued as f64
+        },
+        relative_stall: ratio(scheme.read_stall, baseline.read_stall),
+        relative_traffic: ratio(scheme.flits, baseline.flits),
+        relative_exec: ratio(scheme.exec_cycles, baseline.exec_cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(misses: u64, stall: u64) -> RunMetrics {
+        RunMetrics {
+            read_misses: misses,
+            read_stall: stall,
+            prefetches_issued: 0,
+            prefetches_useful: 0,
+            flits: 100,
+            exec_cycles: 100,
+        }
+    }
+
+    #[test]
+    fn baseline_compares_to_itself_as_unity() {
+        let b = metrics(50, 500);
+        let c = compare(&b, &b);
+        assert_eq!(c.relative_misses, 1.0);
+        assert_eq!(c.relative_stall, 1.0);
+        assert_eq!(c.efficiency, 1.0);
+        assert_eq!(c.relative_traffic, 1.0);
+    }
+
+    #[test]
+    fn zero_denominators_are_handled() {
+        let b = metrics(0, 0);
+        let s = metrics(0, 0);
+        let c = compare(&b, &s);
+        assert_eq!(c.relative_misses, 1.0);
+        let s2 = metrics(5, 5);
+        let c2 = compare(&b, &s2);
+        assert!(c2.relative_misses.is_infinite());
+    }
+}

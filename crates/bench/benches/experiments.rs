@@ -1,0 +1,113 @@
+//! End-to-end experiment benchmarks: one small-scale run per table/figure
+//! pipeline, so `cargo bench` exercises every experiment path (workload
+//! generation → full-system simulation → characterization/metrics) and
+//! tracks its wall-clock cost. The printable paper tables come from the
+//! `table2`/`table3`/`table4`/`figure6` binaries; these benches keep the
+//! machinery honest.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pfsim::{RecordMisses, System, SystemConfig};
+use pfsim_analysis::{characterize, compare, MissEvent, RunMetrics};
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::{lu, ocean, App};
+use std::hint::black_box;
+
+fn metrics(r: &pfsim::SimResult) -> RunMetrics {
+    RunMetrics {
+        read_misses: r.read_misses(),
+        read_stall: r.read_stall(),
+        prefetches_issued: r.total(|n| n.prefetches_issued),
+        prefetches_useful: r.total(|n| n.prefetches_useful),
+        flits: r.net.flits,
+        exec_cycles: r.exec_cycles,
+    }
+}
+
+/// The Table 2 pipeline on one application at a reduced size.
+fn bench_table2_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("table2_characterize_lu", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(5)),
+                    lu::build(lu::LuParams { n: 48, cpus: 16 }),
+                )
+            },
+            |(cfg, wl)| {
+                let r = System::new(cfg, wl).run();
+                let misses: Vec<MissEvent> = r.miss_traces[5]
+                    .iter()
+                    .map(|m| MissEvent {
+                        pc: m.pc,
+                        block: m.block,
+                    })
+                    .collect();
+                black_box(characterize(&misses).stride_fraction())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("table3_finite_slc_ocean", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SystemConfig::paper_baseline()
+                        .with_finite_slc(16 * 1024)
+                        .with_recording(RecordMisses::Cpu(5)),
+                    ocean::build(ocean::OceanParams {
+                        n: 32,
+                        iterations: 4,
+                        band: 8,
+                        row_doubles: ocean::ROW_DOUBLES,
+                        cpus: 16,
+                    }),
+                )
+            },
+            |(cfg, wl)| black_box(System::new(cfg, wl).run().read_misses()),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("figure6_compare_mp3d", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let small = pfsim_workloads::mp3d::Mp3dParams {
+                    particles: 800,
+                    cells: 512,
+                    steps: 2,
+                    collision_pct: 50,
+                    cpus: 16,
+                };
+                let base = System::new(
+                    SystemConfig::paper_baseline(),
+                    pfsim_workloads::mp3d::build(small),
+                )
+                .run();
+                let seq = System::new(
+                    SystemConfig::paper_baseline().with_scheme(Scheme::Sequential { degree: 1 }),
+                    pfsim_workloads::mp3d::build(small),
+                )
+                .run();
+                black_box(compare(&metrics(&base), &metrics(&seq)).relative_misses)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("workload_generation_all_apps", |b| {
+        b.iter(|| {
+            let total: usize = App::ALL.iter().map(|a| a.build_default().total_ops()).sum();
+            black_box(total)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_pipeline);
+criterion_main!(benches);

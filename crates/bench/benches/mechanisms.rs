@@ -1,0 +1,173 @@
+//! Microbenchmarks of the hardware mechanisms under study: the cost per
+//! observed SLC read request of each prefetching scheme's detection logic,
+//! plus the substrate data structures (event queue, mesh routing,
+//! directory automaton). These quantify the "hardware complexity"
+//! dimension of the paper's comparison in simulator terms: I-detection's
+//! RPT is one table probe, D-detection scans four LRU tables per miss.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pfsim_coherence::{DirAction, DirRequest, Directory};
+use pfsim_engine::{Cycle, EventQueue};
+use pfsim_mem::{Addr, BlockAddr, Geometry, NodeId, Pc};
+use pfsim_network::{Mesh, MeshConfig};
+use pfsim_prefetch::{
+    DDetection, DDetectionConfig, IDetection, IDetectionConfig, Prefetcher, ReadAccess,
+    ReadOutcome, Scheme, SequentialPrefetcher,
+};
+use std::hint::black_box;
+
+/// A deterministic mixed access stream: four interleaved stride sequences
+/// plus scattered noise, resembling an application's SLC request mix.
+fn access_stream(len: usize) -> Vec<ReadAccess> {
+    let mut out = Vec::with_capacity(len);
+    let mut noise = 0x12345u64;
+    for k in 0..len as u64 {
+        let which = k % 5;
+        let access = match which {
+            0..=3 => ReadAccess {
+                pc: Pc::new(0x400 + which as u32 * 4),
+                addr: Addr::new((1 + which) * (1 << 20) + k / 5 * (32 * (which + 1))),
+                outcome: ReadOutcome::Miss,
+            },
+            _ => {
+                noise = noise.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ReadAccess {
+                    pc: Pc::new(0x800),
+                    addr: Addr::new(noise % (1 << 28)),
+                    outcome: ReadOutcome::Miss,
+                }
+            }
+        };
+        out.push(access);
+    }
+    out
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let stream = access_stream(4096);
+    let mut group = c.benchmark_group("prefetcher_on_read");
+    group.bench_function("sequential_d1", |b| {
+        let mut p = SequentialPrefetcher::new(Geometry::paper(), 1);
+        let mut out = Vec::new();
+        b.iter(|| {
+            for a in &stream {
+                out.clear();
+                p.on_read(black_box(a), &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+    group.bench_function("idetection", |b| {
+        let mut p = IDetection::new(Geometry::paper(), IDetectionConfig::default());
+        let mut out = Vec::new();
+        b.iter(|| {
+            for a in &stream {
+                out.clear();
+                p.on_read(black_box(a), &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+    group.bench_function("ddetection", |b| {
+        let mut p = DDetection::new(Geometry::paper(), DDetectionConfig::default());
+        let mut out = Vec::new();
+        b.iter(|| {
+            for a in &stream {
+                out.clear();
+                p.on_read(black_box(a), &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+    group.bench_function("adaptive_sequential", |b| {
+        let mut p = Scheme::AdaptiveSequential {
+            initial_degree: 1,
+            max_degree: 8,
+        }
+        .build(Geometry::paper());
+        let mut out = Vec::new();
+        b.iter(|| {
+            for a in &stream {
+                out.clear();
+                p.on_read(black_box(a), &mut out);
+            }
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_4k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..4096u32 {
+                    q.schedule(Cycle::new(u64::from(i % 97)), i);
+                }
+                let mut acc = 0u64;
+                while let Some((t, _)) = q.pop() {
+                    acc += t.as_u64();
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh_send_1k", |b| {
+        b.iter_batched(
+            || Mesh::new(MeshConfig::paper()),
+            |mut mesh| {
+                let mut t = Cycle::ZERO;
+                for i in 0..1024u16 {
+                    let from = NodeId::new(i % 16);
+                    let to = NodeId::new((i * 7 + 3) % 16);
+                    t = mesh.send(t, from, to, 10).max(t);
+                }
+                black_box(mesh.stats().flit_hops)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    c.bench_function("directory_read_write_cycle_1k", |b| {
+        b.iter_batched(
+            || Directory::new(16),
+            |mut dir| {
+                let mut acks = 0u64;
+                for i in 0..1024u64 {
+                    let block = BlockAddr::new(i % 64);
+                    let reader = NodeId::new((i % 15) as u16);
+                    let writer = NodeId::new(15);
+                    dir.request(block, DirRequest::read_shared(reader));
+                    let actions = dir.request(block, DirRequest::ReadExclusive { from: writer });
+                    for a in actions {
+                        if let DirAction::Invalidate { targets } = a {
+                            for _ in targets.iter() {
+                                acks += 1;
+                                dir.inval_ack(block);
+                            }
+                        }
+                    }
+                    dir.request(block, DirRequest::Writeback { from: writer });
+                }
+                black_box(acks)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prefetchers,
+    bench_event_queue,
+    bench_mesh,
+    bench_directory
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Whole-simulator throughput benchmarks: how fast the event loop
+//! simulates each kind of activity (all-hit streams, coherence-heavy
+//! sharing, prefetch-heavy streaming). Useful for tracking simulator
+//! performance regressions; the figures of merit are simulated pclocks
+//! and workload operations per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pfsim::{System, SystemConfig};
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::micro;
+use std::hint::black_box;
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+
+    group.bench_function("sequential_walk_baseline", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SystemConfig::paper_baseline(),
+                    micro::sequential_walk(16, 512, 2),
+                )
+            },
+            |(cfg, wl)| black_box(System::new(cfg, wl).run().exec_cycles),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("sequential_walk_seq_prefetch", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SystemConfig::paper_baseline().with_scheme(Scheme::Sequential { degree: 1 }),
+                    micro::sequential_walk(16, 512, 2),
+                )
+            },
+            |(cfg, wl)| black_box(System::new(cfg, wl).run().exec_cycles),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("producer_consumer_coherence", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SystemConfig::paper_baseline(),
+                    micro::producer_consumer(16, 256),
+                )
+            },
+            |(cfg, wl)| black_box(System::new(cfg, wl).run().exec_cycles),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("lock_contention", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SystemConfig::paper_baseline(),
+                    micro::lock_ping_pong(16, 200),
+                )
+            },
+            |(cfg, wl)| black_box(System::new(cfg, wl).run().exec_cycles),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("random_access_idet", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SystemConfig::paper_baseline().with_scheme(Scheme::IDetection { degree: 1 }),
+                    micro::random_access(16, 2048, 1000),
+                )
+            },
+            |(cfg, wl)| black_box(System::new(cfg, wl).run().exec_cycles),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation: **degree of prefetching** (§6). The paper reports that for
+//! its prefetching-phase mechanism there was "little difference between
+//! different values of d", which is why the main evaluation fixes d = 1.
+//! This binary sweeps d ∈ {1, 2, 4, 8} for both the I-detection and the
+//! sequential scheme on three contrasting applications so the claim can be
+//! checked — and so the LU hot-spot case (where a deeper lookahead hides
+//! more of the pivot-column fetch latency) is visible.
+//!
+//! Usage: `cargo run -p pfsim-bench --bin ablation_degree --release`
+
+use pfsim::SystemConfig;
+use pfsim_analysis::{compare, TextTable};
+use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::App;
+
+fn main() {
+    let size = Size::from_args();
+    let apps = [App::Lu, App::Ocean, App::Mp3d];
+    let degrees = [1u32, 2, 4, 8];
+
+    for app in apps {
+        let base = metrics_of(&run_logged(
+            &format!("{app} baseline"),
+            SystemConfig::paper_baseline(),
+            size.build(app),
+        ));
+        let mut table = TextTable::new(vec![
+            "d".into(),
+            "I-det misses".into(),
+            "I-det stall".into(),
+            "I-det eff".into(),
+            "Seq misses".into(),
+            "Seq stall".into(),
+            "Seq eff".into(),
+        ]);
+        for d in degrees {
+            let mut row = vec![format!("{d}")];
+            for scheme in [
+                Scheme::IDetection { degree: d },
+                Scheme::Sequential { degree: d },
+            ] {
+                let run = metrics_of(&run_logged(
+                    &format!("{app} {scheme}"),
+                    SystemConfig::paper_baseline().with_scheme(scheme),
+                    size.build(app),
+                ));
+                let c = compare(&base, &run);
+                row.push(format!("{:.2}", c.relative_misses));
+                row.push(format!("{:.2}", c.relative_stall));
+                row.push(format!("{:.2}", c.efficiency));
+            }
+            table.row(row);
+        }
+        println!("Degree-of-prefetching sweep: {app} (relative to baseline)");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,73 @@
+//! Ablation: **finite SLC sweep** (§5.3 extension). The paper studies one
+//! finite size (16 KB); this sweep runs the six applications at several
+//! SLC capacities to show how replacement misses change the balance
+//! between stride and sequential prefetching — replacement misses are
+//! dominated by stride-1 sweeps, which both schemes (and especially
+//! sequential prefetching) cover.
+//!
+//! Usage: `cargo run -p pfsim-bench --bin ablation_slc --release`
+
+use pfsim::SystemConfig;
+use pfsim_analysis::{compare, TextTable};
+use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::App;
+
+fn main() {
+    let size = Size::from_args();
+    let capacities: [(u64, &str); 4] = [
+        (8 * 1024, "8K"),
+        (16 * 1024, "16K"),
+        (64 * 1024, "64K"),
+        (0, "inf"),
+    ];
+
+    for app in App::ALL {
+        let mut table = TextTable::new(vec![
+            "SLC".into(),
+            "baseline misses".into(),
+            "repl %".into(),
+            "I-det rel misses".into(),
+            "Seq rel misses".into(),
+        ]);
+        for (bytes, label) in capacities {
+            let cfg = |scheme| {
+                let c = SystemConfig::paper_baseline().with_scheme(scheme);
+                if bytes == 0 {
+                    c
+                } else {
+                    c.with_finite_slc(bytes)
+                }
+            };
+            let base_run = run_logged(
+                &format!("{app} {label} baseline"),
+                cfg(Scheme::None),
+                size.build(app),
+            );
+            let base = metrics_of(&base_run);
+            let repl = base_run.total(|n| n.replacement_misses);
+            let mut row = vec![
+                label.to_string(),
+                format!("{}", base.read_misses),
+                format!(
+                    "{:.0}%",
+                    100.0 * repl as f64 / base.read_misses.max(1) as f64
+                ),
+            ];
+            for scheme in [
+                Scheme::IDetection { degree: 1 },
+                Scheme::Sequential { degree: 1 },
+            ] {
+                let run = metrics_of(&run_logged(
+                    &format!("{app} {label} {scheme}"),
+                    cfg(scheme),
+                    size.build(app),
+                ));
+                row.push(format!("{:.2}", compare(&base, &run).relative_misses));
+            }
+            table.row(row);
+        }
+        println!("Finite-SLC sweep: {app}");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table 2** of the paper: application characteristics
+//! under an infinitely large second-level cache — the fraction of read
+//! misses inside stride sequences, the average sequence length, and the
+//! dominant strides (in blocks), measured on one processor of a baseline
+//! (no-prefetch) run.
+//!
+//! Usage: `cargo run -p pfsim-bench --bin table2 --release [-- --paper]`
+
+use pfsim::SystemConfig;
+use pfsim_analysis::{characterize, TextTable};
+use pfsim_bench::{characterization_run, miss_events, Size};
+use pfsim_workloads::App;
+
+fn main() {
+    let size = Size::from_args();
+    println!("Table 2: application characteristics, infinite second-level cache");
+    println!(
+        "(paper values: stride-miss %: 9.2/80/79/93/66/4.1; avg len: 5.2/7.2/8.0/16.9/7.6/3.4)"
+    );
+    println!();
+
+    let mut table = TextTable::new(vec![
+        "".into(),
+        "Read misses within stride sequences".into(),
+        "Avg. length of sequence".into(),
+        "Dominant stride (blocks)".into(),
+        "Misses (recorded cpu)".into(),
+    ]);
+
+    for app in App::ALL {
+        let result = characterization_run(app, size, SystemConfig::paper_baseline());
+        let misses = miss_events(&result.miss_traces[pfsim_bench::RECORDED_CPU]);
+        let ch = characterize(&misses);
+        table.row(vec![
+            app.name().into(),
+            format!("{:.1}%", ch.stride_fraction() * 100.0),
+            format!("{:.1}", ch.avg_sequence_length()),
+            ch.dominant_strides_label(),
+            format!("{}", ch.total_misses),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,83 @@
+//! Regenerates **Table 4** of the paper: how the three key application
+//! characteristics trend when the data sets grow (infinite SLC). The
+//! paper reports expectations ("higher", "longer", "about the same");
+//! this binary measures the base and enlarged data sets and reports both
+//! the numbers and the resulting trend word, so the row can be compared
+//! directly against the paper's.
+//!
+//! PTHOR is excluded exactly as in the paper ("because of time
+//! limitations for simulations").
+//!
+//! Usage: `cargo run -p pfsim-bench --bin table4 --release`
+
+use pfsim::{RecordMisses, SystemConfig};
+use pfsim_analysis::{characterize, Characterization, TextTable};
+use pfsim_bench::{miss_events, run_logged, RECORDED_CPU};
+use pfsim_workloads::App;
+
+fn trend(base: f64, large: f64, tolerance: f64) -> &'static str {
+    if large > base * (1.0 + tolerance) {
+        "higher"
+    } else if large < base * (1.0 - tolerance) {
+        "lower"
+    } else {
+        "about the same"
+    }
+}
+
+fn run(app: App, large: bool) -> Characterization {
+    let wl = if large {
+        app.build_large()
+    } else {
+        app.build_default()
+    };
+    let cfg = SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(RECORDED_CPU));
+    let label = format!("{app}{}", if large { " (large)" } else { "" });
+    let result = run_logged(&label, cfg, wl);
+    characterize(&miss_events(&result.miss_traces[RECORDED_CPU]))
+}
+
+fn main() {
+    println!("Table 4: expected application characteristics for larger data sets");
+    println!("(paper: stride fraction — same/higher/higher/higher/higher;");
+    println!(" sequence length — limited/longer/longer/longer/longer)");
+    println!();
+
+    let apps = [App::Mp3d, App::Cholesky, App::Water, App::Lu, App::Ocean];
+    let mut table = TextTable::new(vec![
+        "".into(),
+        "Read misses within stride sequence".into(),
+        "Avg. length of sequence".into(),
+        "Dominant stride (blocks)".into(),
+    ]);
+
+    for app in apps {
+        let base = run(app, false);
+        let large = run(app, true);
+        table.row(vec![
+            app.name().into(),
+            format!(
+                "{} ({:.0}% -> {:.0}%)",
+                trend(base.stride_fraction(), large.stride_fraction(), 0.05),
+                base.stride_fraction() * 100.0,
+                large.stride_fraction() * 100.0
+            ),
+            format!(
+                "{} ({:.1} -> {:.1})",
+                trend(
+                    base.avg_sequence_length(),
+                    large.avg_sequence_length(),
+                    0.10
+                ),
+                base.avg_sequence_length(),
+                large.avg_sequence_length()
+            ),
+            format!(
+                "{} -> {}",
+                base.dominant_strides_label(),
+                large.dominant_strides_label()
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+}

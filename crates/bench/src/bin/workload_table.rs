@@ -1,0 +1,43 @@
+//! Prints a SPLASH-report-style table of the six workload models' static
+//! properties — operation mix, shared-data footprint, sharing degree and
+//! synchronization counts — at both the default and the paper input
+//! sizes. Useful for sanity-checking the models against the §4 workload
+//! descriptions.
+//!
+//! Usage: `cargo run -p pfsim-bench --bin workload_table --release [-- --paper]`
+
+use pfsim_analysis::TextTable;
+use pfsim_bench::Size;
+use pfsim_workloads::{trace_stats, App};
+
+fn main() {
+    let size = Size::from_args();
+    let mut table = TextTable::new(vec![
+        "".into(),
+        "reads".into(),
+        "writes".into(),
+        "locks".into(),
+        "barriers".into(),
+        "footprint".into(),
+        "shared".into(),
+        "communicated".into(),
+        "load sites".into(),
+    ]);
+    for app in App::ALL {
+        let wl = size.build(app);
+        let s = trace_stats(&wl);
+        table.row(vec![
+            app.name().into(),
+            format!("{}", s.reads),
+            format!("{}", s.writes),
+            format!("{}", s.acquires),
+            format!("{}", s.barrier_arrivals / 16),
+            format!("{} KB", s.footprint_bytes() / 1024),
+            format!("{:.0}%", s.sharing_fraction() * 100.0),
+            format!("{}", s.communicated_blocks),
+            format!("{}", s.pc_sites),
+        ]);
+    }
+    println!("Workload model properties ({:?} inputs)", size);
+    println!("{}", table.render());
+}

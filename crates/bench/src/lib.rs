@@ -1,0 +1,125 @@
+//! Shared plumbing for the experiment binaries that regenerate every table
+//! and figure of the paper. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+
+#![warn(missing_docs)]
+
+use pfsim::{MissRecord, RecordMisses, SimResult, System, SystemConfig};
+use pfsim_analysis::{MissEvent, RunMetrics};
+use pfsim_workloads::{App, TraceWorkload};
+
+/// Problem-size selection for the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Size {
+    /// Scaled-down inputs: minutes-fast, same qualitative behaviour.
+    #[default]
+    Default,
+    /// The paper's input sizes (slower).
+    Paper,
+}
+
+impl Size {
+    /// Parses the binary's command line: `--paper` selects paper-size
+    /// inputs.
+    pub fn from_args() -> Size {
+        if std::env::args().any(|a| a == "--paper") {
+            Size::Paper
+        } else {
+            Size::Default
+        }
+    }
+
+    /// Builds `app` at this size.
+    pub fn build(self, app: App) -> TraceWorkload {
+        match self {
+            Size::Default => app.build_default(),
+            Size::Paper => app.build_paper(),
+        }
+    }
+}
+
+/// Converts a recorded miss stream into classifier input (thin wrapper
+/// over [`SimResult::miss_events`] for callers holding a raw trace).
+pub fn miss_events(trace: &[MissRecord]) -> Vec<MissEvent> {
+    trace
+        .iter()
+        .map(|m| MissEvent {
+            pc: m.pc,
+            block: m.block,
+        })
+        .collect()
+}
+
+/// Extracts the Figure-6 aggregate metrics from a run.
+pub fn metrics_of(r: &SimResult) -> RunMetrics {
+    r.run_metrics()
+}
+
+/// Runs `workload` on `cfg`, printing a short progress line to stderr.
+pub fn run_logged(label: &str, cfg: SystemConfig, workload: TraceWorkload) -> SimResult {
+    eprintln!("[run] {label} ({} ops)", workload.total_ops());
+    let start = std::time::Instant::now();
+    let result = System::new(cfg, workload).run();
+    eprintln!(
+        "[run] {label}: {} pclocks simulated in {:.1}s",
+        result.exec_cycles,
+        start.elapsed().as_secs_f64()
+    );
+    result
+}
+
+/// The processor whose miss stream the characterization records: an
+/// *interior* node of the 4×4 mesh (the paper measures "one processor ...
+/// which has been shown to be representative"; a corner node would
+/// under-represent Ocean's boundary exchanges).
+pub const RECORDED_CPU: usize = 5;
+
+/// The §5.1 characterization run: baseline machine, one processor's miss
+/// stream recorded.
+pub fn characterization_run(app: App, size: Size, cfg: SystemConfig) -> SimResult {
+    let cfg = cfg.with_recording(RecordMisses::Cpu(RECORDED_CPU));
+    run_logged(app.name(), cfg, size.build(app))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfsim_workloads::App;
+
+    #[test]
+    fn size_builds_every_app() {
+        for app in App::ALL {
+            assert!(Size::Default.build(app).total_ops() > 0, "{app}");
+        }
+    }
+
+    #[test]
+    fn metrics_extraction_matches_result() {
+        let wl = pfsim_workloads::micro::sequential_walk(16, 32, 1);
+        let r = System::new(SystemConfig::paper_baseline(), wl).run();
+        let m = metrics_of(&r);
+        assert_eq!(m.read_misses, r.read_misses());
+        assert_eq!(m.read_stall, r.read_stall());
+        assert_eq!(m.exec_cycles, r.exec_cycles);
+        assert_eq!(m.flits, r.net.flits);
+    }
+
+    #[test]
+    fn miss_events_preserve_pc_and_block() {
+        let wl = pfsim_workloads::micro::sequential_walk(16, 8, 1);
+        let cfg = SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(0));
+        let r = System::new(cfg, wl).run();
+        let events = miss_events(&r.miss_traces[0]);
+        assert_eq!(events.len(), r.miss_traces[0].len());
+        for (e, m) in events.iter().zip(&r.miss_traces[0]) {
+            assert_eq!(e.pc, m.pc);
+            assert_eq!(e.block, m.block);
+        }
+    }
+
+    #[test]
+    fn recorded_cpu_is_an_interior_mesh_node() {
+        // 4x4 mesh: interior nodes are 5, 6, 9, 10.
+        assert!([5usize, 6, 9, 10].contains(&RECORDED_CPU));
+    }
+}

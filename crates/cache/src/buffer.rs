@@ -1,0 +1,193 @@
+//! Bounded FIFO buffers (the FLWB and other queues).
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when pushing to a full [`FifoBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferFull;
+
+impl fmt::Display for BufferFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("write buffer is full")
+    }
+}
+
+impl Error for BufferFull {}
+
+/// A bounded FIFO queue modelling a hardware write buffer.
+///
+/// The first-level write buffer (FLWB) buffers write requests,
+/// synchronization requests and read-miss requests from the FLC *in FIFO
+/// order* — reads do not bypass earlier writes. The paper sizes it at 8
+/// entries; when it fills, the processor stalls until the SLC drains an
+/// entry.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_cache::FifoBuffer;
+///
+/// let mut flwb: FifoBuffer<u32> = FifoBuffer::new(2);
+/// flwb.push(1)?;
+/// flwb.push(2)?;
+/// assert!(flwb.push(3).is_err()); // full: the processor would stall
+/// assert_eq!(flwb.pop(), Some(1)); // FIFO drain by the SLC
+/// # Ok::<(), pfsim_cache::BufferFull>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoBuffer<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+}
+
+impl<T> FifoBuffer<T> {
+    /// Creates a buffer holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a write buffer needs at least one entry");
+        FifoBuffer {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+        }
+    }
+
+    /// Appends `entry` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferFull`] (and gives `entry` up) if the buffer is at
+    /// capacity; in the machine this is the condition that stalls the
+    /// processor.
+    pub fn push(&mut self, entry: T) -> Result<(), BufferFull> {
+        if self.queue.len() == self.capacity {
+            return Err(BufferFull);
+        }
+        self.queue.push_back(entry);
+        self.high_water = self.high_water.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Removes and returns the head entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// The head entry without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy ever observed (a sizing statistic).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Iterates the entries from head to tail.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut b = FifoBuffer::new(8);
+        for i in 0..5 {
+            b.push(i).unwrap();
+        }
+        let drained: Vec<_> = std::iter::from_fn(|| b.pop()).collect();
+        assert_eq!(drained, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_to_full_buffer_fails_without_losing_entries() {
+        let mut b = FifoBuffer::new(2);
+        b.push('x').unwrap();
+        b.push('y').unwrap();
+        assert_eq!(b.push('z'), Err(BufferFull));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop(), Some('x'));
+        b.push('z').unwrap();
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut b = FifoBuffer::new(2);
+        b.push(7).unwrap();
+        assert_eq!(b.peek(), Some(&7));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut b = FifoBuffer::new(4);
+        b.push(1).unwrap();
+        b.push(2).unwrap();
+        b.pop();
+        b.pop();
+        b.push(3).unwrap();
+        assert_eq!(b.high_water(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        FifoBuffer::<()>::new(0);
+    }
+
+    proptest! {
+        /// The buffer behaves exactly like a bounded VecDeque.
+        #[test]
+        fn matches_unbounded_model(ops in proptest::collection::vec(proptest::bool::ANY, 0..200)) {
+            let mut b = FifoBuffer::new(3);
+            let mut model: Vec<u32> = Vec::new();
+            let mut next = 0u32;
+            for push in ops {
+                if push {
+                    let ok = b.push(next).is_ok();
+                    prop_assert_eq!(ok, model.len() < 3);
+                    if ok { model.push(next); }
+                    next += 1;
+                } else {
+                    let popped = b.pop();
+                    let expected = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    prop_assert_eq!(popped, expected);
+                }
+                prop_assert_eq!(b.len(), model.len());
+                prop_assert_eq!(b.is_empty(), model.is_empty());
+            }
+        }
+    }
+}

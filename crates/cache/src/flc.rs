@@ -1,0 +1,147 @@
+//! The on-chip first-level data cache.
+
+use pfsim_mem::{BlockAddr, Geometry};
+
+use crate::DirectMapped;
+
+/// The first-level data cache (FLC): write-through, direct-mapped, no
+/// allocation on write misses, blocking on read misses, with an external
+/// block-invalidation pin.
+///
+/// The FLC holds no coherence state (the write-through policy plus
+/// FLC⊆SLC inclusion migrates all coherence maintenance to the SLC), so a
+/// line is just a valid bit and tag. The paper's configuration is 4 KB with
+/// 32-byte blocks (128 lines).
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_cache::FirstLevelCache;
+/// use pfsim_mem::{BlockAddr, Geometry};
+///
+/// let mut flc = FirstLevelCache::new(4096, Geometry::paper());
+/// let b = BlockAddr::new(7);
+/// assert!(!flc.read(b));          // cold miss
+/// flc.fill(b);
+/// assert!(flc.read(b));           // now hits
+/// assert!(flc.invalidate(b));     // external invalidation pin
+/// assert!(!flc.read(b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstLevelCache {
+    lines: DirectMapped<()>,
+}
+
+impl FirstLevelCache {
+    /// Creates an FLC of `capacity_bytes` with the block size of `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a power-of-two multiple of the block
+    /// size.
+    pub fn new(capacity_bytes: u64, geometry: Geometry) -> Self {
+        let sets = capacity_bytes / geometry.block_bytes();
+        assert!(
+            sets > 0 && (sets as usize).is_power_of_two(),
+            "FLC capacity must be a power-of-two number of blocks, got {sets}"
+        );
+        FirstLevelCache {
+            lines: DirectMapped::new(sets as usize),
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.lines.sets()
+    }
+
+    /// Probes for a read: returns whether `block` hits.
+    ///
+    /// Read misses block the processor; the miss request is then buffered in
+    /// the FLWB and serviced by the SLC.
+    #[inline]
+    pub fn read(&self, block: BlockAddr) -> bool {
+        self.lines.get(block).is_some()
+    }
+
+    /// Probes for a write. Writes are passed through to the SLC regardless;
+    /// a write miss does **not** allocate (no-write-allocate), and a write
+    /// hit simply updates the line in place, so the tag array is unchanged
+    /// either way. Returns whether the write hit.
+    #[inline]
+    pub fn write(&self, block: BlockAddr) -> bool {
+        self.lines.get(block).is_some()
+    }
+
+    /// Fills `block` after a read miss completes, evicting any conflicting
+    /// line (clean by construction: the FLC is write-through). Returns the
+    /// evicted block, which callers may use for statistics.
+    pub fn fill(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let (evicted, _) = self.lines.insert(block, ());
+        evicted.map(|(victim, ())| victim).filter(|v| *v != block)
+    }
+
+    /// External invalidation (the "block-invalidation pin"): drops `block`
+    /// if present, returning whether it was.
+    ///
+    /// The SLC asserts this pin whenever coherence or replacement removes a
+    /// block from the SLC, preserving inclusion.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        self.lines.remove(block).is_some()
+    }
+
+    /// Number of valid lines (for tests and audits).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flc() -> FirstLevelCache {
+        FirstLevelCache::new(4096, Geometry::paper())
+    }
+
+    #[test]
+    fn paper_flc_has_128_lines() {
+        assert_eq!(flc().lines(), 128);
+    }
+
+    #[test]
+    fn write_never_allocates() {
+        let mut c = flc();
+        assert!(!c.write(BlockAddr::new(9)));
+        // Still a miss afterwards: no allocation happened.
+        assert!(!c.read(BlockAddr::new(9)));
+        c.fill(BlockAddr::new(9));
+        assert!(c.write(BlockAddr::new(9)));
+    }
+
+    #[test]
+    fn conflicting_fill_evicts() {
+        let mut c = flc();
+        c.fill(BlockAddr::new(1));
+        let evicted = c.fill(BlockAddr::new(129)); // 129 % 128 == 1
+        assert_eq!(evicted, Some(BlockAddr::new(1)));
+        assert!(!c.read(BlockAddr::new(1)));
+        assert!(c.read(BlockAddr::new(129)));
+    }
+
+    #[test]
+    fn refill_same_block_reports_no_eviction() {
+        let mut c = flc();
+        c.fill(BlockAddr::new(1));
+        assert_eq!(c.fill(BlockAddr::new(1)), None);
+    }
+
+    #[test]
+    fn invalidate_absent_block_is_noop() {
+        let mut c = flc();
+        assert!(!c.invalidate(BlockAddr::new(77)));
+        c.fill(BlockAddr::new(77));
+        assert!(c.invalidate(BlockAddr::new(77)));
+        assert_eq!(c.valid_lines(), 0);
+    }
+}

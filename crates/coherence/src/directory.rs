@@ -1,0 +1,567 @@
+//! The full-map directory automaton.
+
+use std::collections::{HashMap, VecDeque};
+
+use pfsim_mem::{BlockAddr, NodeId};
+
+use crate::SharerSet;
+
+/// A coherence request arriving at a block's home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirRequest {
+    /// Read miss (or prefetch): the requester wants a shared copy.
+    ReadShared {
+        /// Requesting node.
+        from: NodeId,
+        /// Whether this is a prefetch (propagated into the data reply so
+        /// the requester tags the block).
+        prefetch: bool,
+    },
+    /// Write miss: the requester wants an exclusive copy with data.
+    ReadExclusive {
+        /// Requesting node.
+        from: NodeId,
+    },
+    /// Write hit on a shared copy: the requester wants ownership without
+    /// data.
+    Upgrade {
+        /// Requesting node.
+        from: NodeId,
+    },
+    /// Replacement of a dirty block: the data returns to memory.
+    Writeback {
+        /// Evicting node.
+        from: NodeId,
+    },
+}
+
+impl DirRequest {
+    /// A demand read-shared request.
+    pub fn read_shared(from: NodeId) -> Self {
+        DirRequest::ReadShared {
+            from,
+            prefetch: false,
+        }
+    }
+
+    /// A prefetch read-shared request.
+    pub fn prefetch(from: NodeId) -> Self {
+        DirRequest::ReadShared {
+            from,
+            prefetch: true,
+        }
+    }
+
+    /// The node that issued the request.
+    pub fn from(self) -> NodeId {
+        match self {
+            DirRequest::ReadShared { from, .. }
+            | DirRequest::ReadExclusive { from }
+            | DirRequest::Upgrade { from }
+            | DirRequest::Writeback { from } => from,
+        }
+    }
+}
+
+/// An action the home node must perform on behalf of the protocol.
+///
+/// Actions are returned in execution order; in particular `ReadMemory`
+/// before a `SendData` means the reply carries data read from local memory
+/// (the executor inserts the memory latency between them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirAction {
+    /// Read the block from this node's local memory.
+    ReadMemory,
+    /// Write the block back to this node's local memory.
+    WriteMemory,
+    /// Send a data reply to `to`.
+    SendData {
+        /// Destination node.
+        to: NodeId,
+        /// Whether ownership (write permission) is granted.
+        exclusive: bool,
+        /// Whether the original request was a prefetch.
+        prefetch: bool,
+    },
+    /// Grant ownership without data (upgrade acknowledgement).
+    SendAck {
+        /// Destination node.
+        to: NodeId,
+    },
+    /// Ask `owner` for its dirty copy, downgrading it to Shared.
+    Fetch {
+        /// Current owner.
+        owner: NodeId,
+    },
+    /// Ask `owner` for its dirty copy and invalidate it.
+    FetchInval {
+        /// Current owner.
+        owner: NodeId,
+    },
+    /// Send invalidations to every node in `targets`; each will be
+    /// acknowledged via [`Directory::inval_ack`].
+    Invalidate {
+        /// Nodes holding copies that must be invalidated.
+        targets: SharerSet,
+    },
+}
+
+/// Stable directory state of one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies; memory is current.
+    Uncached,
+    /// Read-only copies at the recorded nodes; memory is current.
+    Shared(SharerSet),
+    /// One dirty copy at the recorded owner; memory is stale.
+    Modified(NodeId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Waiting {
+    /// A (possibly invalidating) fetch to the owner is outstanding.
+    Fetch { owner: NodeId },
+    /// Invalidations are outstanding; `remaining` acks are due.
+    Acks { remaining: u32 },
+    /// The owner's copy is gone; its writeback is in flight and must arrive
+    /// before the transaction can complete from memory.
+    WritebackData,
+}
+
+#[derive(Debug, Clone)]
+struct Txn {
+    request: DirRequest,
+    waiting: Waiting,
+    /// Set when a racing writeback for this block arrived while the fetch
+    /// was outstanding.
+    wb_arrived: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    state: DirState,
+    txn: Option<Txn>,
+    pending: VecDeque<DirRequest>,
+}
+
+impl Entry {
+    fn new() -> Self {
+        Entry {
+            state: DirState::Uncached,
+            txn: None,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Counters kept by the directory (protocol-level statistics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Transactions that were satisfied directly from memory.
+    pub memory_supplied: u64,
+    /// Transactions that required a fetch from a remote owner.
+    pub owner_supplied: u64,
+    /// Invalidation messages requested.
+    pub invalidations: u64,
+    /// Writebacks absorbed.
+    pub writebacks: u64,
+    /// Stale writebacks ignored (should stay zero in a correct system).
+    pub stale_writebacks: u64,
+}
+
+/// One home node's slice of the full-map directory.
+///
+/// See the [crate documentation](crate) for the protocol overview and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    entries: HashMap<BlockAddr, Entry>,
+    nodes: u16,
+    stats: DirStats,
+}
+
+impl Directory {
+    /// Creates a directory slice for a system of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the 64-node presence-vector
+    /// limit.
+    pub fn new(nodes: u16) -> Self {
+        assert!((1..=64).contains(&nodes), "nodes must be in 1..=64");
+        Directory {
+            entries: HashMap::new(),
+            nodes,
+            stats: DirStats::default(),
+        }
+    }
+
+    /// Protocol statistics so far.
+    pub fn stats(&self) -> DirStats {
+        self.stats
+    }
+
+    /// The stable state of `block` (Uncached if never referenced).
+    pub fn state(&self, block: BlockAddr) -> DirState {
+        self.entries
+            .get(&block)
+            .map(|e| e.state)
+            .unwrap_or(DirState::Uncached)
+    }
+
+    /// Whether a transaction for `block` is in flight at the home.
+    pub fn is_busy(&self, block: BlockAddr) -> bool {
+        self.entries.get(&block).is_some_and(|e| e.txn.is_some())
+    }
+
+    /// Debug description of the in-flight transaction for `block`, if any
+    /// (used in deadlock diagnostics).
+    pub fn busy_detail(&self, block: BlockAddr) -> Option<String> {
+        let entry = self.entries.get(&block)?;
+        let txn = entry.txn.as_ref()?;
+        Some(format!(
+            "request {:?} waiting {:?} wb_arrived={} pending={}",
+            txn.request,
+            txn.waiting,
+            txn.wb_arrived,
+            entry.pending.len()
+        ))
+    }
+
+    /// Iterates the stable states of all blocks this home has seen
+    /// (for coherence audits in tests).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, DirState)> + '_ {
+        self.entries.iter().map(|(b, e)| (*b, e.state))
+    }
+
+    /// Presents `request` to the home node.
+    ///
+    /// Returns the actions to execute now. An empty list means the request
+    /// was queued behind an in-flight transaction for the same block (or,
+    /// for a racing writeback, absorbed into it).
+    pub fn request(&mut self, block: BlockAddr, request: DirRequest) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        let entry = self.entries.entry(block).or_insert_with(Entry::new);
+
+        if entry.txn.is_some() {
+            if let DirRequest::Writeback { from } = request {
+                Self::writeback_during_txn(&mut self.stats, entry, from, &mut actions);
+            } else {
+                entry.pending.push_back(request);
+            }
+            return actions;
+        }
+
+        Self::start(&mut self.stats, entry, request, &mut actions);
+        actions
+    }
+
+    /// Delivers the owner's reply to a `Fetch`/`FetchInval` action.
+    ///
+    /// `had_copy` is `false` when the owner no longer held the block (its
+    /// writeback is in flight); the transaction then completes once that
+    /// writeback arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fetch is outstanding for `block`.
+    pub fn fetch_done(&mut self, block: BlockAddr, had_copy: bool) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        let entry = self
+            .entries
+            .get_mut(&block)
+            .expect("fetch_done for unknown block");
+        let txn = entry.txn.as_mut().expect("fetch_done with no transaction");
+        assert!(
+            matches!(txn.waiting, Waiting::Fetch { .. }),
+            "fetch_done while waiting for {:?}",
+            txn.waiting
+        );
+
+        if had_copy {
+            let request = txn.request;
+            match request {
+                DirRequest::ReadShared { from, prefetch } => {
+                    let owner = match txn.waiting {
+                        Waiting::Fetch { owner } => owner,
+                        _ => unreachable!(),
+                    };
+                    let mut sharers = SharerSet::singleton(owner);
+                    sharers.insert(from);
+                    entry.state = DirState::Shared(sharers);
+                    // The dirty data goes both to memory and to the
+                    // requester.
+                    actions.push(DirAction::WriteMemory);
+                    actions.push(DirAction::SendData {
+                        to: from,
+                        exclusive: false,
+                        prefetch,
+                    });
+                }
+                DirRequest::ReadExclusive { from } | DirRequest::Upgrade { from } => {
+                    entry.state = DirState::Modified(from);
+                    actions.push(DirAction::SendData {
+                        to: from,
+                        exclusive: true,
+                        prefetch: false,
+                    });
+                }
+                DirRequest::Writeback { .. } => unreachable!("writebacks never fetch"),
+            }
+            self.stats.owner_supplied += 1;
+            entry.txn = None;
+            Self::drain_pending(&mut self.stats, entry, &mut actions);
+        } else if txn.wb_arrived {
+            // The racing writeback already refreshed memory.
+            let request = txn.request;
+            entry.txn = None;
+            Self::complete_from_memory(&mut self.stats, entry, request, &mut actions);
+            Self::drain_pending(&mut self.stats, entry, &mut actions);
+        } else {
+            txn.waiting = Waiting::WritebackData;
+        }
+        actions
+    }
+
+    /// Delivers one invalidation acknowledgement for `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no invalidation round is outstanding for `block`.
+    pub fn inval_ack(&mut self, block: BlockAddr) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        let entry = self
+            .entries
+            .get_mut(&block)
+            .expect("inval_ack for unknown block");
+        let txn = entry.txn.as_mut().expect("inval_ack with no transaction");
+        let Waiting::Acks { remaining } = &mut txn.waiting else {
+            panic!("inval_ack while waiting for {:?}", txn.waiting);
+        };
+        *remaining -= 1;
+        if *remaining > 0 {
+            return actions;
+        }
+
+        let request = txn.request;
+        entry.txn = None;
+        match request {
+            DirRequest::ReadExclusive { from } => {
+                entry.state = DirState::Modified(from);
+                actions.push(DirAction::ReadMemory);
+                actions.push(DirAction::SendData {
+                    to: from,
+                    exclusive: true,
+                    prefetch: false,
+                });
+                self.stats.memory_supplied += 1;
+            }
+            DirRequest::Upgrade { from } => {
+                entry.state = DirState::Modified(from);
+                actions.push(DirAction::SendAck { to: from });
+            }
+            DirRequest::ReadShared { .. } | DirRequest::Writeback { .. } => {
+                unreachable!("only ownership requests wait for acks")
+            }
+        }
+        Self::drain_pending(&mut self.stats, entry, &mut actions);
+        actions
+    }
+
+    /// Starts `request` on an idle entry, appending actions.
+    fn start(
+        stats: &mut DirStats,
+        entry: &mut Entry,
+        request: DirRequest,
+        actions: &mut Vec<DirAction>,
+    ) {
+        // An upgrade whose requester no longer appears in the presence
+        // vector lost its copy to a racing invalidation or replacement: it
+        // needs data, i.e. it *is* a read-exclusive.
+        let request = match request {
+            DirRequest::Upgrade { from } => {
+                let has_copy = matches!(entry.state, DirState::Shared(s) if s.contains(from));
+                if has_copy {
+                    request
+                } else {
+                    DirRequest::ReadExclusive { from }
+                }
+            }
+            other => other,
+        };
+        match request {
+            DirRequest::ReadShared { from, prefetch: _ } => match entry.state {
+                DirState::Uncached | DirState::Shared(_) => {
+                    Self::complete_from_memory(stats, entry, request, actions);
+                }
+                DirState::Modified(owner) if owner != from => {
+                    entry.txn = Some(Txn {
+                        request,
+                        waiting: Waiting::Fetch { owner },
+                        wb_arrived: false,
+                    });
+                    actions.push(DirAction::Fetch { owner });
+                }
+                DirState::Modified(_) => {
+                    // The requester is the recorded owner: it must have
+                    // evicted the block; its writeback is in flight.
+                    entry.txn = Some(Txn {
+                        request,
+                        waiting: Waiting::WritebackData,
+                        wb_arrived: false,
+                    });
+                }
+            },
+            DirRequest::ReadExclusive { from } | DirRequest::Upgrade { from } => {
+                match entry.state {
+                    DirState::Uncached => {
+                        Self::complete_from_memory(stats, entry, request, actions);
+                    }
+                    DirState::Shared(sharers) => {
+                        let others = sharers.without(from);
+                        if others.is_empty() {
+                            if matches!(request, DirRequest::Upgrade { .. })
+                                && sharers.contains(from)
+                            {
+                                // Sole sharer upgrading: ownership granted
+                                // without data.
+                                entry.state = DirState::Modified(from);
+                                actions.push(DirAction::SendAck { to: from });
+                            } else {
+                                Self::complete_from_memory(stats, entry, request, actions);
+                            }
+                        } else {
+                            stats.invalidations += u64::from(others.len());
+                            entry.txn = Some(Txn {
+                                request,
+                                waiting: Waiting::Acks {
+                                    remaining: others.len(),
+                                },
+                                wb_arrived: false,
+                            });
+                            actions.push(DirAction::Invalidate { targets: others });
+                        }
+                    }
+                    DirState::Modified(owner) if owner != from => {
+                        entry.txn = Some(Txn {
+                            request,
+                            waiting: Waiting::Fetch { owner },
+                            wb_arrived: false,
+                        });
+                        actions.push(DirAction::FetchInval { owner });
+                    }
+                    DirState::Modified(_) => {
+                        entry.txn = Some(Txn {
+                            request,
+                            waiting: Waiting::WritebackData,
+                            wb_arrived: false,
+                        });
+                    }
+                }
+            }
+            DirRequest::Writeback { from } => {
+                if entry.state == DirState::Modified(from) {
+                    entry.state = DirState::Uncached;
+                    stats.writebacks += 1;
+                    actions.push(DirAction::WriteMemory);
+                } else {
+                    // A writeback for a block this directory no longer
+                    // records as owned by the sender: stale (the protocol
+                    // should never produce one).
+                    debug_assert!(false, "stale writeback from {from:?}");
+                    stats.stale_writebacks += 1;
+                }
+            }
+        }
+    }
+
+    /// Handles a writeback arriving while a transaction is in flight.
+    fn writeback_during_txn(
+        stats: &mut DirStats,
+        entry: &mut Entry,
+        from: NodeId,
+        actions: &mut Vec<DirAction>,
+    ) {
+        stats.writebacks += 1;
+        let txn = entry.txn.as_mut().expect("busy entry has a txn");
+        match txn.waiting {
+            Waiting::Fetch { owner } if owner == from => {
+                // The fetch will find no copy; remember that memory is now
+                // current.
+                actions.push(DirAction::WriteMemory);
+                txn.wb_arrived = true;
+            }
+            Waiting::WritebackData => {
+                // This is the writeback the transaction was waiting for.
+                actions.push(DirAction::WriteMemory);
+                let request = txn.request;
+                entry.txn = None;
+                Self::complete_from_memory(stats, entry, request, actions);
+                Self::drain_pending(stats, entry, actions);
+            }
+            _ => {
+                debug_assert!(
+                    false,
+                    "unexpected writeback from {from:?} while {:?}",
+                    txn.waiting
+                );
+                stats.stale_writebacks += 1;
+            }
+        }
+    }
+
+    /// Completes `request` with memory as the data source, updating state.
+    fn complete_from_memory(
+        stats: &mut DirStats,
+        entry: &mut Entry,
+        request: DirRequest,
+        actions: &mut Vec<DirAction>,
+    ) {
+        stats.memory_supplied += 1;
+        match request {
+            DirRequest::ReadShared { from, prefetch } => {
+                let mut sharers = match entry.state {
+                    DirState::Shared(s) => s,
+                    _ => SharerSet::new(),
+                };
+                sharers.insert(from);
+                entry.state = DirState::Shared(sharers);
+                actions.push(DirAction::ReadMemory);
+                actions.push(DirAction::SendData {
+                    to: from,
+                    exclusive: false,
+                    prefetch,
+                });
+            }
+            DirRequest::ReadExclusive { from } | DirRequest::Upgrade { from } => {
+                // An upgrade that reaches here lost its copy to a racing
+                // invalidation (or the block returned to memory): it is
+                // served as a full exclusive read, data included.
+                entry.state = DirState::Modified(from);
+                actions.push(DirAction::ReadMemory);
+                actions.push(DirAction::SendData {
+                    to: from,
+                    exclusive: true,
+                    prefetch: false,
+                });
+            }
+            DirRequest::Writeback { .. } => unreachable!("writebacks complete in start()"),
+        }
+    }
+
+    /// After a transaction completes, starts as many queued requests as can
+    /// run back to back.
+    fn drain_pending(stats: &mut DirStats, entry: &mut Entry, actions: &mut Vec<DirAction>) {
+        while entry.txn.is_none() {
+            let Some(next) = entry.pending.pop_front() else {
+                break;
+            };
+            Self::start(stats, entry, next, actions);
+        }
+    }
+
+    /// Number of nodes in the system.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+}

@@ -1,0 +1,175 @@
+//! The full-map presence vector.
+
+use std::fmt;
+
+use pfsim_mem::NodeId;
+
+/// A full-map presence vector: one bit per node, recording which caches
+/// hold a copy of a block.
+///
+/// The paper's 16-node system needs 16 bits per directory entry; this
+/// implementation supports up to 64 nodes.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_coherence::SharerSet;
+/// use pfsim_mem::NodeId;
+///
+/// let mut s = SharerSet::new();
+/// s.insert(NodeId::new(3));
+/// s.insert(NodeId::new(9));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(NodeId::new(3)));
+/// s.remove(NodeId::new(3));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), [NodeId::new(9)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        SharerSet(0)
+    }
+
+    /// A set containing exactly `node`.
+    pub fn singleton(node: NodeId) -> Self {
+        let mut s = SharerSet(0);
+        s.insert(node);
+        s
+    }
+
+    /// Adds `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is ≥ 64.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.index() < 64, "SharerSet supports at most 64 nodes");
+        self.0 |= 1 << node.index();
+    }
+
+    /// Removes `node`, returning whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let bit = 1u64 << node.index();
+        let was = self.0 & bit != 0;
+        self.0 &= !bit;
+        was
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(self, node: NodeId) -> bool {
+        node.index() < 64 && self.0 & (1 << node.index()) != 0
+    }
+
+    /// Number of sharers.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The set with `node` removed (non-mutating).
+    pub fn without(mut self, node: NodeId) -> SharerSet {
+        self.remove(node);
+        self
+    }
+
+    /// Iterates the members in ascending node order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(NodeId::new(i as u16))
+            }
+        })
+    }
+}
+
+impl FromIterator<NodeId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = SharerSet::new();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set()
+            .entries(self.iter().map(|n| n.index()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SharerSet::new();
+        assert!(s.is_empty());
+        s.insert(NodeId::new(0));
+        s.insert(NodeId::new(15));
+        assert!(s.contains(NodeId::new(0)));
+        assert!(s.contains(NodeId::new(15)));
+        assert!(!s.contains(NodeId::new(7)));
+        assert!(s.remove(NodeId::new(0)));
+        assert!(!s.remove(NodeId::new(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s: SharerSet = [5u16, 1, 12].into_iter().map(NodeId::new).collect();
+        let got: Vec<_> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(got, [1, 5, 12]);
+    }
+
+    #[test]
+    fn without_is_nonmutating() {
+        let s = SharerSet::singleton(NodeId::new(4));
+        let t = s.without(NodeId::new(4));
+        assert!(s.contains(NodeId::new(4)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s: SharerSet = [2u16, 3].into_iter().map(NodeId::new).collect();
+        assert_eq!(format!("{s:?}"), "{2, 3}");
+    }
+
+    proptest! {
+        #[test]
+        fn matches_hashset_model(ops in proptest::collection::vec((0u16..64, proptest::bool::ANY), 0..100)) {
+            let mut s = SharerSet::new();
+            let mut model = std::collections::BTreeSet::new();
+            for (node, insert) in ops {
+                if insert {
+                    s.insert(NodeId::new(node));
+                    model.insert(node);
+                } else {
+                    s.remove(NodeId::new(node));
+                    model.remove(&node);
+                }
+            }
+            prop_assert_eq!(s.len() as usize, model.len());
+            let got: Vec<_> = s.iter().map(|n| n.as_u16()).collect();
+            let want: Vec<_> = model.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

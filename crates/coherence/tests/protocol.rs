@@ -1,0 +1,448 @@
+//! Protocol-level tests of the full-map directory automaton: every stable
+//! transition, the transient races, and a randomized model check.
+
+use pfsim_coherence::{DirAction, DirRequest, DirState, Directory, SharerSet};
+use pfsim_mem::{BlockAddr, NodeId};
+use proptest::prelude::*;
+
+const B: BlockAddr = BlockAddr::new(100);
+
+fn n(i: u16) -> NodeId {
+    NodeId::new(i)
+}
+
+fn sharers(nodes: &[u16]) -> SharerSet {
+    nodes.iter().map(|&i| n(i)).collect()
+}
+
+#[test]
+fn cold_read_is_served_by_memory() {
+    let mut dir = Directory::new(16);
+    let actions = dir.request(B, DirRequest::read_shared(n(3)));
+    assert_eq!(
+        actions,
+        [
+            DirAction::ReadMemory,
+            DirAction::SendData {
+                to: n(3),
+                exclusive: false,
+                prefetch: false
+            }
+        ]
+    );
+    assert_eq!(dir.state(B), DirState::Shared(sharers(&[3])));
+    assert!(!dir.is_busy(B));
+}
+
+#[test]
+fn prefetch_flag_propagates_to_reply() {
+    let mut dir = Directory::new(16);
+    let actions = dir.request(B, DirRequest::prefetch(n(5)));
+    assert_eq!(
+        actions[1],
+        DirAction::SendData {
+            to: n(5),
+            exclusive: false,
+            prefetch: true
+        }
+    );
+}
+
+#[test]
+fn additional_readers_accumulate_in_presence_vector() {
+    let mut dir = Directory::new(16);
+    for i in [0u16, 4, 9, 15] {
+        dir.request(B, DirRequest::read_shared(n(i)));
+    }
+    assert_eq!(dir.state(B), DirState::Shared(sharers(&[0, 4, 9, 15])));
+}
+
+#[test]
+fn cold_write_goes_straight_to_modified() {
+    let mut dir = Directory::new(16);
+    let actions = dir.request(B, DirRequest::ReadExclusive { from: n(2) });
+    assert_eq!(
+        actions,
+        [
+            DirAction::ReadMemory,
+            DirAction::SendData {
+                to: n(2),
+                exclusive: true,
+                prefetch: false
+            }
+        ]
+    );
+    assert_eq!(dir.state(B), DirState::Modified(n(2)));
+}
+
+#[test]
+fn write_to_shared_invalidates_all_other_sharers() {
+    let mut dir = Directory::new(16);
+    for i in [1u16, 2, 3] {
+        dir.request(B, DirRequest::read_shared(n(i)));
+    }
+    let actions = dir.request(B, DirRequest::ReadExclusive { from: n(7) });
+    assert_eq!(
+        actions,
+        [DirAction::Invalidate {
+            targets: sharers(&[1, 2, 3])
+        }]
+    );
+    assert!(dir.is_busy(B));
+
+    // Two of three acks: still busy, no actions.
+    assert!(dir.inval_ack(B).is_empty());
+    assert!(dir.inval_ack(B).is_empty());
+    // Final ack releases the data.
+    let actions = dir.inval_ack(B);
+    assert_eq!(
+        actions,
+        [
+            DirAction::ReadMemory,
+            DirAction::SendData {
+                to: n(7),
+                exclusive: true,
+                prefetch: false
+            }
+        ]
+    );
+    assert_eq!(dir.state(B), DirState::Modified(n(7)));
+    assert!(!dir.is_busy(B));
+}
+
+#[test]
+fn upgrade_by_sole_sharer_needs_no_data() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::read_shared(n(4)));
+    let actions = dir.request(B, DirRequest::Upgrade { from: n(4) });
+    assert_eq!(actions, [DirAction::SendAck { to: n(4) }]);
+    assert_eq!(dir.state(B), DirState::Modified(n(4)));
+}
+
+#[test]
+fn upgrade_with_other_sharers_waits_for_acks() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::read_shared(n(4)));
+    dir.request(B, DirRequest::read_shared(n(5)));
+    let actions = dir.request(B, DirRequest::Upgrade { from: n(4) });
+    assert_eq!(
+        actions,
+        [DirAction::Invalidate {
+            targets: sharers(&[5])
+        }]
+    );
+    let actions = dir.inval_ack(B);
+    assert_eq!(actions, [DirAction::SendAck { to: n(4) }]);
+    assert_eq!(dir.state(B), DirState::Modified(n(4)));
+}
+
+#[test]
+fn upgrade_after_losing_copy_is_served_with_data() {
+    let mut dir = Directory::new(16);
+    // Node 4 reads, node 9 writes (invalidating 4), then node 4's stale
+    // upgrade arrives: it must receive data, not a bare ack.
+    dir.request(B, DirRequest::read_shared(n(4)));
+    let a = dir.request(B, DirRequest::ReadExclusive { from: n(9) });
+    assert_eq!(
+        a,
+        [DirAction::Invalidate {
+            targets: sharers(&[4])
+        }]
+    );
+    dir.inval_ack(B);
+    assert_eq!(dir.state(B), DirState::Modified(n(9)));
+
+    let actions = dir.request(B, DirRequest::Upgrade { from: n(4) });
+    // Modified at node 9: fetch-invalidate, then exclusive data to node 4.
+    assert_eq!(actions, [DirAction::FetchInval { owner: n(9) }]);
+    let actions = dir.fetch_done(B, true);
+    assert_eq!(
+        actions,
+        [DirAction::SendData {
+            to: n(4),
+            exclusive: true,
+            prefetch: false
+        }]
+    );
+    assert_eq!(dir.state(B), DirState::Modified(n(4)));
+}
+
+#[test]
+fn read_of_dirty_block_fetches_from_owner() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    let actions = dir.request(B, DirRequest::read_shared(n(6)));
+    assert_eq!(actions, [DirAction::Fetch { owner: n(1) }]);
+    assert!(dir.is_busy(B));
+
+    let actions = dir.fetch_done(B, true);
+    assert_eq!(
+        actions,
+        [
+            DirAction::WriteMemory,
+            DirAction::SendData {
+                to: n(6),
+                exclusive: false,
+                prefetch: false
+            }
+        ]
+    );
+    // Owner downgraded: both nodes now share.
+    assert_eq!(dir.state(B), DirState::Shared(sharers(&[1, 6])));
+}
+
+#[test]
+fn write_to_dirty_block_transfers_ownership() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    let actions = dir.request(B, DirRequest::ReadExclusive { from: n(2) });
+    assert_eq!(actions, [DirAction::FetchInval { owner: n(1) }]);
+    let actions = dir.fetch_done(B, true);
+    assert_eq!(
+        actions,
+        [DirAction::SendData {
+            to: n(2),
+            exclusive: true,
+            prefetch: false
+        }]
+    );
+    assert_eq!(dir.state(B), DirState::Modified(n(2)));
+}
+
+#[test]
+fn writeback_returns_block_to_memory() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    assert_eq!(actions, [DirAction::WriteMemory]);
+    assert_eq!(dir.state(B), DirState::Uncached);
+    assert_eq!(dir.stats().writebacks, 1);
+}
+
+#[test]
+fn requests_queue_behind_inflight_transaction() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    // A read triggers a fetch...
+    dir.request(B, DirRequest::read_shared(n(2)));
+    // ...and two more requests arrive while it is outstanding.
+    assert!(dir.request(B, DirRequest::read_shared(n(3))).is_empty());
+    assert!(dir
+        .request(B, DirRequest::ReadExclusive { from: n(4) })
+        .is_empty());
+
+    // Completing the fetch serves node 2, then node 3 (from memory,
+    // back-to-back), then starts node 4's invalidation round.
+    let actions = dir.fetch_done(B, true);
+    let sends: Vec<_> = actions
+        .iter()
+        .filter_map(|a| match a {
+            DirAction::SendData { to, .. } => Some(to.index()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sends, [2, 3]);
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, DirAction::Invalidate { targets } if targets.len() == 3)));
+    assert!(dir.is_busy(B));
+    for _ in 0..3 {
+        dir.inval_ack(B);
+    }
+    assert_eq!(dir.state(B), DirState::Modified(n(4)));
+}
+
+#[test]
+fn writeback_racing_with_fetch_completes_from_memory() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    // Node 2's read starts a fetch to node 1...
+    assert_eq!(
+        dir.request(B, DirRequest::read_shared(n(2))),
+        [DirAction::Fetch { owner: n(1) }]
+    );
+    // ...but node 1 evicted the block; its writeback arrives first.
+    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    assert_eq!(actions, [DirAction::WriteMemory]);
+    // The fetch then reports no copy; memory is already current.
+    let actions = dir.fetch_done(B, false);
+    assert_eq!(
+        actions,
+        [
+            DirAction::ReadMemory,
+            DirAction::SendData {
+                to: n(2),
+                exclusive: false,
+                prefetch: false
+            }
+        ]
+    );
+    assert_eq!(dir.state(B), DirState::Shared(sharers(&[2])));
+}
+
+#[test]
+fn fetch_miss_waits_for_late_writeback() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    dir.request(B, DirRequest::read_shared(n(2)));
+    // Fetch reports no copy *before* the writeback arrives.
+    assert!(dir.fetch_done(B, false).is_empty());
+    assert!(dir.is_busy(B));
+    // The writeback completes the stalled transaction.
+    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    assert_eq!(
+        actions,
+        [
+            DirAction::WriteMemory,
+            DirAction::ReadMemory,
+            DirAction::SendData {
+                to: n(2),
+                exclusive: false,
+                prefetch: false
+            }
+        ]
+    );
+    assert_eq!(dir.state(B), DirState::Shared(sharers(&[2])));
+}
+
+#[test]
+fn owner_rereading_own_written_back_block_waits_for_writeback() {
+    let mut dir = Directory::new(16);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    // Node 1 evicts the dirty block and immediately re-reads it, and the
+    // read overtakes the writeback.
+    assert!(dir.request(B, DirRequest::read_shared(n(1))).is_empty());
+    assert!(dir.is_busy(B));
+    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    assert_eq!(
+        actions,
+        [
+            DirAction::WriteMemory,
+            DirAction::ReadMemory,
+            DirAction::SendData {
+                to: n(1),
+                exclusive: false,
+                prefetch: false
+            }
+        ]
+    );
+    assert_eq!(dir.state(B), DirState::Shared(sharers(&[1])));
+}
+
+#[test]
+fn distinct_blocks_are_independent() {
+    let mut dir = Directory::new(16);
+    let b2 = BlockAddr::new(200);
+    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    dir.request(B, DirRequest::read_shared(n(2))); // B is now busy
+    let actions = dir.request(b2, DirRequest::read_shared(n(3)));
+    assert_eq!(actions.len(), 2, "block b2 must not queue behind B");
+    assert_eq!(dir.state(b2), DirState::Shared(sharers(&[3])));
+}
+
+/// A reference model: per-node cache states driven by the directory's
+/// actions, checked for the single-writer/multiple-reader invariant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ModelLine {
+    Invalid,
+    Shared,
+    Modified,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random single-block request streams (with every transient completed
+    /// immediately) keep the directory consistent with a node-side model:
+    /// at most one Modified copy, never alongside Shared copies, and the
+    /// presence vector exactly matches the nodes holding copies.
+    #[test]
+    fn directory_agrees_with_node_model(ops in proptest::collection::vec((0u16..8, 0u8..3), 1..300)) {
+        let nodes = 8usize;
+        let mut dir = Directory::new(nodes as u16);
+        let mut model = vec![ModelLine::Invalid; nodes];
+
+        // Applies one batch of directory actions to the node model,
+        // answering fetches/invals immediately (zero-latency network).
+        fn apply(
+            dir: &mut Directory,
+            model: &mut [ModelLine],
+            actions: Vec<DirAction>,
+        ) {
+            let mut queue: std::collections::VecDeque<DirAction> = actions.into();
+            while let Some(action) = queue.pop_front() {
+                match action {
+                    DirAction::ReadMemory | DirAction::WriteMemory => {}
+                    DirAction::SendData { to, exclusive, .. } => {
+                        model[to.index()] = if exclusive { ModelLine::Modified } else { ModelLine::Shared };
+                    }
+                    DirAction::SendAck { to } => {
+                        model[to.index()] = ModelLine::Modified;
+                    }
+                    DirAction::Fetch { owner } => {
+                        assert_eq!(model[owner.index()], ModelLine::Modified);
+                        model[owner.index()] = ModelLine::Shared;
+                        queue.extend(dir.fetch_done(B, true));
+                    }
+                    DirAction::FetchInval { owner } => {
+                        assert_eq!(model[owner.index()], ModelLine::Modified);
+                        model[owner.index()] = ModelLine::Invalid;
+                        queue.extend(dir.fetch_done(B, true));
+                    }
+                    DirAction::Invalidate { targets } => {
+                        for t in targets.iter() {
+                            model[t.index()] = ModelLine::Invalid;
+                            queue.extend(dir.inval_ack(B));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (node, kind) in ops {
+            let from = NodeId::new(node);
+            let line = model[from.index()];
+            // Issue only requests a real SLC could issue in its current
+            // state (e.g. no read miss while holding the block).
+            let request = match kind {
+                0 if line == ModelLine::Invalid => DirRequest::read_shared(from),
+                1 if line == ModelLine::Invalid => DirRequest::ReadExclusive { from },
+                2 if line == ModelLine::Shared => DirRequest::Upgrade { from },
+                2 if line == ModelLine::Modified => {
+                    model[from.index()] = ModelLine::Invalid;
+                    DirRequest::Writeback { from }
+                }
+                _ => continue,
+            };
+            let actions = dir.request(B, request);
+            apply(&mut dir, &mut model, actions);
+            prop_assert!(!dir.is_busy(B), "zero-latency completion expected");
+
+            // Invariants.
+            let modified: Vec<_> = model.iter().filter(|&&l| l == ModelLine::Modified).collect();
+            let shared_count = model.iter().filter(|&&l| l == ModelLine::Shared).count();
+            prop_assert!(modified.len() <= 1);
+            if modified.len() == 1 {
+                prop_assert_eq!(shared_count, 0);
+            }
+            match dir.state(B) {
+                DirState::Uncached => {
+                    prop_assert!(model.iter().all(|&l| l == ModelLine::Invalid));
+                }
+                DirState::Modified(owner) => {
+                    prop_assert_eq!(model[owner.index()], ModelLine::Modified);
+                }
+                DirState::Shared(s) => {
+                    for (i, &line) in model.iter().enumerate() {
+                        let in_set = s.contains(NodeId::new(i as u16));
+                        // The directory may conservatively over-record
+                        // (silent clean evictions), but our model has no
+                        // silent evictions, so the sets must match exactly.
+                        prop_assert_eq!(in_set, line == ModelLine::Shared,
+                            "node {} dir={:?} model={:?}", i, in_set, line);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Convenience drivers for the paper's experiments.
+
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::{TraceWorkload, Workload};
+
+use crate::{RecordMisses, SimResult, System, SystemConfig};
+
+/// Runs `workload` on the paper baseline extended with `scheme`.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim::experiment;
+/// use pfsim_prefetch::Scheme;
+/// use pfsim_workloads::micro;
+///
+/// let base = experiment::run_scheme(micro::sequential_walk(16, 64, 1), Scheme::None);
+/// let seq = experiment::run_scheme(micro::sequential_walk(16, 64, 1), Scheme::Sequential { degree: 1 });
+/// assert!(seq.read_misses() < base.read_misses());
+/// ```
+pub fn run_scheme(workload: TraceWorkload, scheme: Scheme) -> SimResult {
+    System::new(SystemConfig::paper_baseline().with_scheme(scheme), workload).run()
+}
+
+/// Runs `workload` under an arbitrary configuration.
+pub fn run_config(workload: impl Workload, cfg: SystemConfig) -> SimResult {
+    System::new(cfg, workload).run()
+}
+
+/// Runs the §5.1 characterization configuration: the baseline machine
+/// (no prefetching) with the miss stream of processor `cpu` recorded.
+pub fn run_baseline_recording(workload: TraceWorkload, cpu: usize) -> SimResult {
+    let cfg = SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(cpu));
+    System::new(cfg, workload).run()
+}
+
+/// The comparison of Figure 6: baseline, I-detection, D-detection and
+/// sequential prefetching at degree 1, on the same workload.
+pub fn figure6_schemes() -> [Scheme; 4] {
+    [
+        Scheme::None,
+        Scheme::IDetection { degree: 1 },
+        Scheme::DDetection { degree: 1 },
+        Scheme::Sequential { degree: 1 },
+    ]
+}

@@ -1,0 +1,1288 @@
+//! The full-system simulator: 16 processing nodes, the directory protocol
+//! and the mesh, driven by one deterministic event loop.
+
+use pfsim_cache::{Eviction, LineState};
+use pfsim_coherence::{DirAction, DirRequest, DirStats};
+use pfsim_engine::{Cycle, EventQueue};
+use pfsim_mem::{Addr, BlockAddr, Geometry, NodeId};
+use pfsim_network::Mesh;
+use pfsim_prefetch::{ReadAccess, ReadOutcome};
+use pfsim_workloads::{Op, Workload};
+
+use crate::msg::Msg;
+use crate::node::{CpuStatus, DrainBlock, FlwbEntry, MshrEntry, Node, TxnKind};
+use crate::stats::{MissRecord, SimResult};
+use crate::sync::BarrierTable;
+use crate::{RecordMisses, SystemConfig};
+
+/// Events of the system-level simulation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Run the processor of node `n`.
+    CpuStep(u16),
+    /// The SLC of node `n` services its next queued job.
+    SlcWork(u16),
+    /// A message arrives at node `n`.
+    Deliver(u16, Msg),
+}
+
+/// The simulated multiprocessor.
+///
+/// Couples a [`SystemConfig`] with a [`Workload`] and runs the parallel
+/// section to completion, producing a [`SimResult`].
+///
+/// # Examples
+///
+/// ```
+/// use pfsim::{System, SystemConfig};
+/// use pfsim_workloads::micro;
+///
+/// let wl = micro::sequential_walk(16, 64, 1);
+/// let result = System::new(SystemConfig::paper_baseline(), wl).run();
+/// assert!(result.read_misses() > 0);
+/// ```
+pub struct System<W: Workload> {
+    cfg: SystemConfig,
+    workload: W,
+    queue: EventQueue<Ev>,
+    mesh: Mesh,
+    nodes: Vec<Node>,
+    barriers: BarrierTable,
+    last_time: Cycle,
+}
+
+/// Sends `msg` from `from` to `to`, reserving mesh bandwidth at `at`.
+/// Data messages are sized by the geometry's block size.
+fn send(
+    mesh: &mut Mesh,
+    queue: &mut EventQueue<Ev>,
+    geometry: Geometry,
+    at: Cycle,
+    from: u16,
+    to: u16,
+    msg: Msg,
+) {
+    let flits = msg.kind().flits_for(geometry.block_bytes());
+    let arrival = mesh.send(at, NodeId::new(from), NodeId::new(to), flits);
+    queue.schedule(arrival, Ev::Deliver(to, msg));
+}
+
+/// Schedules SLC service for node `n`. If a later `SlcWork` is already
+/// pending (e.g. parked on a future-issued FLWB entry), an earlier
+/// request re-arms service sooner; the stale event is harmless (it
+/// re-checks state when it fires).
+fn notify_slc(node: &mut Node, queue: &mut EventQueue<Ev>, n: u16, at: Cycle) {
+    let target = at.max(node.slc_server.free_at());
+    match node.slc_scheduled_at {
+        Some(scheduled) if scheduled <= target => {}
+        _ => {
+            node.slc_scheduled_at = Some(target);
+            queue.schedule(target, Ev::SlcWork(n));
+        }
+    }
+}
+
+/// Defers `op` because the FLWB is full: the processor stalls until the
+/// SLC drains an entry, then retries the operation.
+fn defer_for_flwb(node: &mut Node, queue: &mut EventQueue<Ev>, n: u16, op: Op, t: Cycle) {
+    node.pending_op = Some(op);
+    block_cpu(node, queue, n, CpuStatus::WaitFlwb, t);
+}
+
+/// Blocks the processor in `status` at time `t` and kicks SLC service (the
+/// blocking operation's FLWB entry is already queued).
+fn block_cpu(node: &mut Node, queue: &mut EventQueue<Ev>, n: u16, status: CpuStatus, t: Cycle) {
+    node.status = status;
+    node.issue_time = t;
+    node.cpu_time = t;
+    notify_slc(node, queue, n, t);
+}
+
+impl<W: Workload> System<W> {
+    /// Creates a system running `workload` on the machine described by
+    /// `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's processor count differs from the
+    /// configured node count.
+    pub fn new(cfg: SystemConfig, workload: W) -> Self {
+        assert_eq!(
+            workload.num_cpus(),
+            cfg.nodes as usize,
+            "workload built for {} cpus but the system has {} nodes",
+            workload.num_cpus(),
+            cfg.nodes
+        );
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                let record = match cfg.record_misses {
+                    RecordMisses::None => false,
+                    RecordMisses::Cpu(c) => c == i as usize,
+                    RecordMisses::All => true,
+                };
+                Node::new(&cfg, record)
+            })
+            .collect();
+        System {
+            mesh: Mesh::new(cfg.mesh),
+            cfg,
+            workload,
+            queue: EventQueue::new(),
+            nodes,
+            barriers: BarrierTable::new(),
+            last_time: Cycle::ZERO,
+        }
+    }
+
+    /// Runs the workload to completion and returns the statistics.
+    ///
+    /// Running twice is a no-op the second time (the workload is
+    /// exhausted); create a new `System` per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks (the event queue drains while a
+    /// processor is still blocked), which indicates a protocol bug.
+    pub fn run(&mut self) -> SimResult {
+        for n in 0..self.cfg.nodes {
+            self.queue.schedule(Cycle::ZERO, Ev::CpuStep(n));
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            self.last_time = self.last_time.max(t);
+            match ev {
+                Ev::CpuStep(n) => self.cpu_step(n, t),
+                Ev::SlcWork(n) => self.slc_work(n, t),
+                Ev::Deliver(n, msg) => self.deliver(n, msg, t),
+            }
+        }
+        let stuck: Vec<String> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.status != CpuStatus::Done)
+            .map(|(i, node)| {
+                format!(
+                    "node {i}: {:?} drain={:?} pending_writes={} flwb={} mshr={} incoming={}",
+                    node.status,
+                    node.drain_block,
+                    node.pending_write_txns,
+                    node.flwb.len(),
+                    node.mshr.len(),
+                    node.incoming.len(),
+                )
+            })
+            .collect();
+        if !stuck.is_empty() {
+            let mut detail = stuck.join("\n");
+            for (i, node) in self.nodes.iter().enumerate() {
+                for (block, entry) in node.mshr.iter() {
+                    let home = self.home_of(block);
+                    let dir = &self.nodes[home as usize].dir;
+                    detail.push_str(&format!(
+                        "\nnode {i} mshr {block}: {:?} -> home {home} state {:?} busy={:?} slc_at_owner={:?}",
+                        entry.kind,
+                        dir.state(block),
+                        dir.busy_detail(block),
+                        self.nodes.iter().enumerate().filter(|(_, nd)| nd.slc.contains(block)).map(|(j, _)| j).collect::<Vec<_>>(),
+                    ));
+                }
+            }
+            panic!("simulation deadlocked with processors still blocked:\n{detail}");
+        }
+
+        // Fold in each processor's final run-ahead segment: a trace that
+        // ends in compute-only work retires past the last scheduled event.
+        for node in &self.nodes {
+            self.last_time = self.last_time.max(node.cpu_time);
+        }
+
+        let dir: DirStats = self.nodes.iter().fold(DirStats::default(), |mut acc, n| {
+            let s = n.dir.stats();
+            acc.memory_supplied += s.memory_supplied;
+            acc.owner_supplied += s.owner_supplied;
+            acc.invalidations += s.invalidations;
+            acc.writebacks += s.writebacks;
+            acc.stale_writebacks += s.stale_writebacks;
+            acc
+        });
+        SimResult {
+            exec_cycles: self.last_time.as_u64(),
+            net: self.mesh.stats(),
+            dir,
+            miss_traces: self
+                .nodes
+                .iter_mut()
+                .map(|n| std::mem::take(&mut n.miss_trace))
+                .collect(),
+            nodes: self.nodes.iter().map(|n| n.stats).collect(),
+        }
+    }
+
+    /// Per-node resource utilization snapshot (diagnostics).
+    pub fn server_report(&self) -> Vec<(u64, u64, u64)> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.slc_server.busy_cycles(),
+                    n.dir_server.busy_cycles(),
+                    n.mem.busy_cycles(),
+                )
+            })
+            .collect()
+    }
+
+    /// Audits system-wide coherence invariants (used by tests): every
+    /// directory entry must agree with the cache states it records.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation.
+    pub fn audit_coherence(&self) {
+        for home in &self.nodes {
+            for (block, state) in home.dir.iter() {
+                if home.dir.is_busy(block) {
+                    continue; // transient: caches may legitimately disagree
+                }
+                match state {
+                    pfsim_coherence::DirState::Modified(owner) => {
+                        let line = self.nodes[owner.index()].slc.lookup(block);
+                        // The owner may have a writeback or re-fetch in
+                        // flight; otherwise it must hold the block dirty.
+                        if let Some(line) = line {
+                            assert_eq!(
+                                line.state,
+                                LineState::Modified,
+                                "{block} dir=Modified({owner}) but owner holds it clean"
+                            );
+                        }
+                        for (i, other) in self.nodes.iter().enumerate() {
+                            if i != owner.index() {
+                                assert!(
+                                    other.slc.lookup(block).is_none(),
+                                    "{block} modified at {owner} but also cached at node {i}"
+                                );
+                            }
+                        }
+                    }
+                    pfsim_coherence::DirState::Shared(sharers) => {
+                        for (i, other) in self.nodes.iter().enumerate() {
+                            if let Some(line) = other.slc.lookup(block) {
+                                assert!(
+                                    sharers.contains(NodeId::new(i as u16)),
+                                    "{block} cached at node {i} without presence bit"
+                                );
+                                assert_eq!(line.state, LineState::Shared);
+                            }
+                        }
+                    }
+                    pfsim_coherence::DirState::Uncached => {
+                        for (i, other) in self.nodes.iter().enumerate() {
+                            assert!(
+                                other.slc.lookup(block).is_none(),
+                                "{block} uncached at home but cached at node {i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn home_of(&self, block: BlockAddr) -> u16 {
+        self.cfg
+            .placement
+            .home_of(self.cfg.geometry.page_of_block(block))
+            .as_u16()
+    }
+
+    fn home_of_addr(&self, addr: Addr) -> u16 {
+        self.cfg
+            .placement
+            .home_of(self.cfg.geometry.page_of(addr))
+            .as_u16()
+    }
+
+    // ----------------------------------------------------------------
+    // Processor
+    // ----------------------------------------------------------------
+
+    /// Runs the processor of node `n` from its local time until it blocks,
+    /// finishes, or exhausts its time slice.
+    fn cpu_step(&mut self, n: u16, now: Cycle) {
+        let ni = n as usize;
+        if self.nodes[ni].status != CpuStatus::Ready {
+            return;
+        }
+        let mut t = self.nodes[ni].cpu_time.max(now);
+        let slice_end = t + self.cfg.cpu_slice;
+        let geometry = self.cfg.geometry;
+
+        loop {
+            if t >= slice_end {
+                let node = &mut self.nodes[ni];
+                node.cpu_time = t;
+                self.queue.schedule(t, Ev::CpuStep(n));
+                return;
+            }
+            let op = match self.nodes[ni].pending_op.take() {
+                Some(op) => op,
+                None => match self.workload.next(ni) {
+                    Some(op) => op,
+                    None => {
+                        self.nodes[ni].status = CpuStatus::Done;
+                        self.nodes[ni].cpu_time = t;
+                        return;
+                    }
+                },
+            };
+            match op {
+                Op::Compute { cycles } => {
+                    t += u64::from(cycles);
+                }
+                Op::Read { addr, pc } => {
+                    let node = &mut self.nodes[ni];
+                    let block = geometry.block_of(addr);
+                    if node.flc.read(block) {
+                        node.stats.reads += 1;
+                        node.stats.flc_read_hits += 1;
+                        t += 1;
+                        continue;
+                    }
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        return;
+                    }
+                    node.stats.reads += 1;
+                    node.flwb
+                        .push(FlwbEntry::Read {
+                            addr,
+                            pc,
+                            issued: t,
+                        })
+                        .expect("checked above");
+                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitRead, t);
+                    return;
+                }
+                Op::Write { addr, pc: _ } => {
+                    let node = &mut self.nodes[ni];
+                    // Write-through, no-write-allocate FLC: the tag array
+                    // is unchanged whether it hits or misses.
+                    let _ = node.flc.write(geometry.block_of(addr));
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        return;
+                    }
+                    node.stats.writes += 1;
+                    node.flwb
+                        .push(FlwbEntry::Write { addr, issued: t })
+                        .expect("checked above");
+                    if self.cfg.consistency == crate::ConsistencyModel::Sequential {
+                        // Sequential consistency: the processor waits for
+                        // every write to perform globally.
+                        node.status = CpuStatus::WaitWrite;
+                        node.issue_time = t;
+                        node.cpu_time = t;
+                        notify_slc(node, &mut self.queue, n, t);
+                        return;
+                    }
+                    t += 1;
+                    notify_slc(node, &mut self.queue, n, t);
+                }
+                Op::Acquire { lock } => {
+                    let node = &mut self.nodes[ni];
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        return;
+                    }
+                    node.flwb
+                        .push(FlwbEntry::Acquire { lock, issued: t })
+                        .expect("checked above");
+                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitLock, t);
+                    return;
+                }
+                Op::Release { lock } => {
+                    let node = &mut self.nodes[ni];
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        return;
+                    }
+                    node.flwb
+                        .push(FlwbEntry::Release { lock, issued: t })
+                        .expect("checked above");
+                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitLock, t);
+                    return;
+                }
+                Op::Barrier { id } => {
+                    let node = &mut self.nodes[ni];
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        return;
+                    }
+                    node.flwb
+                        .push(FlwbEntry::Barrier { id, issued: t })
+                        .expect("checked above");
+                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitBarrier, t);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Completes a blocked demand read at time `done`: fills the FLC,
+    /// accounts the read stall (everything beyond the 1-pclock pipelined
+    /// FLC access), and resumes the processor after the FLC fill.
+    fn serve_waiting_read(&mut self, n: u16, block: BlockAddr, done: Cycle) {
+        let ni = n as usize;
+        let flc_fill = self.cfg.flc_fill;
+        self.nodes[ni].flc.fill(block);
+        let issue = self.nodes[ni].issue_time;
+        self.nodes[ni].stats.read_stall +=
+            (done + flc_fill).saturating_since(issue).saturating_sub(1);
+        self.resume_cpu(n, done + flc_fill);
+    }
+
+    /// Resumes a blocked processor at time `at`.
+    fn resume_cpu(&mut self, n: u16, at: Cycle) {
+        let node = &mut self.nodes[n as usize];
+        debug_assert_ne!(node.status, CpuStatus::Ready);
+        debug_assert_ne!(node.status, CpuStatus::Done);
+        node.status = CpuStatus::Ready;
+        node.cpu_time = node.cpu_time.max(at);
+        self.queue.schedule(node.cpu_time, Ev::CpuStep(n));
+    }
+
+    // ----------------------------------------------------------------
+    // SLC service
+    // ----------------------------------------------------------------
+
+    /// The SLC of node `n` services one job (an incoming message has
+    /// priority over the FLWB head).
+    fn slc_work(&mut self, n: u16, now: Cycle) {
+        let ni = n as usize;
+        self.nodes[ni].slc_scheduled_at = None;
+
+        if let Some(msg) = self.nodes[ni].incoming.pop_front() {
+            let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+            self.handle_slc_msg(n, msg, done);
+            self.reschedule_slc(n, now);
+            return;
+        }
+
+        // FLWB drain. Inspect the head without consuming it: entries that
+        // need resources may have to wait.
+        let Some(head) = self.nodes[ni].flwb.peek().copied() else {
+            return;
+        };
+        if head.issued() > now {
+            // The processor runs ahead of the event loop; this entry does
+            // not exist yet at SLC time.
+            let node = &mut self.nodes[ni];
+            node.slc_scheduled_at = Some(head.issued());
+            self.queue.schedule(head.issued(), Ev::SlcWork(n));
+            return;
+        }
+
+        match head {
+            FlwbEntry::Read { addr, pc, .. } => {
+                let block = self.cfg.geometry.block_of(addr);
+                let node = &mut self.nodes[ni];
+                if node.slc.lookup(block).is_none()
+                    && !node.mshr.contains(block)
+                    && node.mshr.is_full()
+                {
+                    node.drain_block = DrainBlock::MshrFull;
+                    return;
+                }
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                self.slc_read(n, addr, pc, done);
+            }
+            FlwbEntry::Write { addr, .. } => {
+                let block = self.cfg.geometry.block_of(addr);
+                let node = &mut self.nodes[ni];
+                let needs_slot = match node.slc.lookup(block) {
+                    Some(line) => line.state == LineState::Shared && !node.mshr.contains(block),
+                    None => !node.mshr.contains(block),
+                };
+                if needs_slot && node.mshr.is_full() {
+                    node.drain_block = DrainBlock::MshrFull;
+                    return;
+                }
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                self.slc_write(n, addr, done);
+            }
+            FlwbEntry::Acquire { lock, .. } => {
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                let home = self.home_of_addr(lock);
+                send(
+                    &mut self.mesh,
+                    &mut self.queue,
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::LockReq {
+                        lock,
+                        from: NodeId::new(n),
+                    },
+                );
+            }
+            FlwbEntry::Release { lock, .. } => {
+                if self.nodes[ni].pending_write_txns > 0 {
+                    self.nodes[ni].drain_block = DrainBlock::ReleasePending;
+                    return;
+                }
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                let home = self.home_of_addr(lock);
+                send(
+                    &mut self.mesh,
+                    &mut self.queue,
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::UnlockReq {
+                        lock,
+                        from: NodeId::new(n),
+                    },
+                );
+                // The release itself completes once issued (the lock
+                // hand-off happens at the home).
+                let issue = self.nodes[ni].issue_time;
+                self.nodes[ni].stats.sync_stall += done.saturating_since(issue);
+                self.resume_cpu(n, done);
+            }
+            FlwbEntry::Barrier { id, .. } => {
+                if self.nodes[ni].pending_write_txns > 0 {
+                    self.nodes[ni].drain_block = DrainBlock::ReleasePending;
+                    return;
+                }
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                let home = id % u32::from(self.cfg.nodes);
+                send(
+                    &mut self.mesh,
+                    &mut self.queue,
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home as u16,
+                    Msg::BarrierArrive {
+                        id,
+                        from: NodeId::new(n),
+                    },
+                );
+            }
+        }
+
+        // A processor stalled on a full FLWB can retry now that an entry
+        // drained.
+        if self.nodes[ni].status == CpuStatus::WaitFlwb && !self.nodes[ni].flwb.is_full() {
+            let waited = self.nodes[ni]
+                .slc_server
+                .free_at()
+                .saturating_since(self.nodes[ni].issue_time);
+            self.nodes[ni].stats.flwb_stall += waited;
+            let at = self.nodes[ni].slc_server.free_at();
+            self.resume_cpu(n, at);
+        }
+
+        self.reschedule_slc(n, now);
+    }
+
+    /// Schedules the next SLC job if any work is queued.
+    fn reschedule_slc(&mut self, n: u16, _now: Cycle) {
+        let ni = n as usize;
+        let node = &mut self.nodes[ni];
+        if node.slc_scheduled_at.is_some() {
+            return;
+        }
+        // A blocked drain only gates FLWB consumption; incoming coherence
+        // messages must keep flowing (they are what unblocks the drain).
+        let has_work = !node.incoming.is_empty()
+            || (node.drain_block == DrainBlock::None && !node.flwb.is_empty());
+        if has_work {
+            node.slc_scheduled_at = Some(node.slc_server.free_at());
+            self.queue
+                .schedule(node.slc_server.free_at(), Ev::SlcWork(n));
+        }
+    }
+
+    /// Clears a drain block of the given kind and restarts SLC service.
+    fn unblock_drain(&mut self, n: u16, kind: DrainBlock, at: Cycle) {
+        let ni = n as usize;
+        if self.nodes[ni].drain_block == kind {
+            self.nodes[ni].drain_block = DrainBlock::None;
+            notify_slc(&mut self.nodes[ni], &mut self.queue, n, at);
+        }
+    }
+
+    /// A demand read request presented to the SLC (the processor is
+    /// blocked on it).
+    fn slc_read(&mut self, n: u16, addr: Addr, pc: pfsim_mem::Pc, done: Cycle) {
+        let ni = n as usize;
+        let block = self.cfg.geometry.block_of(addr);
+
+        let outcome = {
+            let node = &mut self.nodes[ni];
+            match node.slc.demand_access(block) {
+                Some(was_tagged) => {
+                    node.stats.slc_read_hits += 1;
+                    if was_tagged {
+                        node.stats.tagged_hits += 1;
+                        node.stats.prefetches_useful += 1;
+                        ReadOutcome::HitPrefetched
+                    } else {
+                        ReadOutcome::Hit
+                    }
+                }
+                None => {
+                    if let Some(entry) = node.mshr.get_mut(block) {
+                        entry.waiting_cpu = true;
+                        node.stats.delayed_hits += 1;
+                        if entry.kind == TxnKind::Prefetch && !entry.prefetch_consumed {
+                            entry.prefetch_consumed = true;
+                            node.stats.prefetches_useful += 1;
+                            ReadOutcome::InFlightPrefetch
+                        } else {
+                            ReadOutcome::InFlightDemand
+                        }
+                    } else {
+                        node.stats.read_misses += 1;
+                        let cause = node.classify_miss(block);
+                        if node.record {
+                            node.miss_trace.push(MissRecord {
+                                pc,
+                                addr,
+                                block,
+                                cause,
+                            });
+                        }
+                        node.mshr
+                            .alloc(block, {
+                                let mut e = MshrEntry::new(TxnKind::ReadShared);
+                                e.waiting_cpu = true;
+                                e
+                            })
+                            .expect("capacity checked before pop");
+                        ReadOutcome::Miss
+                    }
+                }
+            }
+        };
+
+        if outcome == ReadOutcome::Hit || outcome == ReadOutcome::HitPrefetched {
+            self.serve_waiting_read(n, block, done);
+        } else if outcome == ReadOutcome::Miss {
+            let home = self.home_of(block);
+            send(
+                &mut self.mesh,
+                &mut self.queue,
+                self.cfg.geometry,
+                done,
+                n,
+                home,
+                Msg::CohReq {
+                    block,
+                    req: DirRequest::read_shared(NodeId::new(n)),
+                },
+            );
+        }
+
+        self.run_prefetcher(n, addr, pc, outcome, done);
+    }
+
+    /// A buffered write drained from the FLWB into the SLC.
+    fn slc_write(&mut self, n: u16, addr: Addr, done: Cycle) {
+        let ni = n as usize;
+        let block = self.cfg.geometry.block_of(addr);
+        let node = &mut self.nodes[ni];
+
+        let req = match node.slc.lookup(block) {
+            Some(line) if line.state == LineState::Modified => {
+                // Write hit on an owned block: absorbed. A write consuming
+                // a prefetched-tagged block counts the prefetch useful (it
+                // turned a write miss into a hit) and clears the tag so it
+                // cannot fire again later.
+                if node.slc.clear_prefetched(block) {
+                    node.stats.prefetches_useful += 1;
+                }
+                self.resume_write(n, done);
+                return;
+            }
+            Some(_) => {
+                // Shared: need ownership. A prefetched tag is consumed by
+                // the write exactly as in the Modified case.
+                if node.slc.clear_prefetched(block) {
+                    node.stats.prefetches_useful += 1;
+                }
+                if node.mshr.contains(block) {
+                    // Upgrade already in flight: the write merges into it.
+                    return;
+                }
+                node.mshr
+                    .alloc(block, {
+                        let mut e = MshrEntry::new(TxnKind::Upgrade);
+                        e.write_pending = true;
+                        e
+                    })
+                    .expect("capacity checked before pop");
+                node.pending_write_txns += 1;
+                DirRequest::Upgrade {
+                    from: NodeId::new(n),
+                }
+            }
+            None => {
+                if let Some(entry) = node.mshr.get_mut(block) {
+                    if !entry.write_pending {
+                        entry.write_pending = true;
+                        node.pending_write_txns += 1;
+                    }
+                    return;
+                }
+                node.mshr
+                    .alloc(block, {
+                        let mut e = MshrEntry::new(TxnKind::ReadExclusive);
+                        e.write_pending = true;
+                        e
+                    })
+                    .expect("capacity checked before pop");
+                node.pending_write_txns += 1;
+                DirRequest::ReadExclusive {
+                    from: NodeId::new(n),
+                }
+            }
+        };
+        let home = self.home_of(block);
+        send(
+            &mut self.mesh,
+            &mut self.queue,
+            self.cfg.geometry,
+            done,
+            n,
+            home,
+            Msg::CohReq { block, req },
+        );
+    }
+
+    /// Feeds the prefetcher and issues the surviving candidates.
+    fn run_prefetcher(
+        &mut self,
+        n: u16,
+        addr: Addr,
+        pc: pfsim_mem::Pc,
+        outcome: ReadOutcome,
+        done: Cycle,
+    ) {
+        let ni = n as usize;
+        let mut candidates = std::mem::take(&mut self.nodes[ni].pf_scratch);
+        candidates.clear();
+        self.nodes[ni]
+            .prefetcher
+            .on_read(&ReadAccess { pc, addr, outcome }, &mut candidates);
+
+        let mut issued = 0u32;
+        for &block in &candidates {
+            let node = &mut self.nodes[ni];
+            if node.slc.contains(block) {
+                node.stats.pf_dropped_present += 1;
+                continue;
+            }
+            if node.mshr.contains(block) {
+                node.stats.pf_dropped_inflight += 1;
+                continue;
+            }
+            if node.mshr.is_full() {
+                node.stats.pf_dropped_full += 1;
+                continue;
+            }
+            node.mshr
+                .alloc(block, MshrEntry::new(TxnKind::Prefetch))
+                .expect("checked above");
+            node.stats.prefetches_issued += 1;
+            issued += 1;
+            let home = self.home_of(block);
+            send(
+                &mut self.mesh,
+                &mut self.queue,
+                self.cfg.geometry,
+                done,
+                n,
+                home,
+                Msg::CohReq {
+                    block,
+                    req: DirRequest::prefetch(NodeId::new(n)),
+                },
+            );
+        }
+        if !candidates.is_empty() {
+            self.nodes[ni].prefetcher.on_prefetches_issued(issued);
+        }
+        self.nodes[ni].pf_scratch = candidates;
+    }
+
+    // ----------------------------------------------------------------
+    // SLC-side message handling
+    // ----------------------------------------------------------------
+
+    fn handle_slc_msg(&mut self, n: u16, msg: Msg, done: Cycle) {
+        let ni = n as usize;
+        match msg {
+            Msg::Fetch { block, inval, home } => {
+                let node = &mut self.nodes[ni];
+                let had_copy = node.slc.lookup(block).is_some();
+                if had_copy {
+                    if inval {
+                        node.slc.invalidate(block);
+                        node.flc.invalidate(block);
+                        node.removal
+                            .insert(block, crate::stats::MissCause::Coherence);
+                    } else {
+                        node.slc.downgrade(block);
+                    }
+                }
+                send(
+                    &mut self.mesh,
+                    &mut self.queue,
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home.as_u16(),
+                    Msg::FetchReply { block, had_copy },
+                );
+            }
+            Msg::Inval { block, home } => {
+                let node = &mut self.nodes[ni];
+                node.stats.invals_received += 1;
+                if node.slc.invalidate(block).is_some() {
+                    node.flc.invalidate(block);
+                    node.removal
+                        .insert(block, crate::stats::MissCause::Coherence);
+                }
+                send(
+                    &mut self.mesh,
+                    &mut self.queue,
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home.as_u16(),
+                    Msg::InvalAck { block },
+                );
+            }
+            Msg::DataReply {
+                block,
+                exclusive,
+                prefetch,
+            } => {
+                // Protocol cross-check: the home's view of the request
+                // kind must match the requester's outstanding entry.
+                debug_assert_eq!(
+                    prefetch,
+                    self.nodes[ni]
+                        .mshr
+                        .get(block)
+                        .is_some_and(|e| e.kind == TxnKind::Prefetch),
+                    "home and requester disagree about a prefetch"
+                );
+                self.slc_fill(n, block, exclusive, done);
+            }
+            Msg::AckReply { block } => {
+                let node = &mut self.nodes[ni];
+                let entry = node
+                    .mshr
+                    .remove(block)
+                    .expect("upgrade ack without transaction");
+                debug_assert_eq!(entry.kind, TxnKind::Upgrade);
+                if node.slc.promote(block) {
+                    if entry.waiting_cpu {
+                        // A read merged into the upgrade: the block is
+                        // resident, serve it now.
+                        self.serve_waiting_read(n, block, done);
+                    }
+                } else {
+                    // The shared line was displaced by a conflicting fill
+                    // while the upgrade was in flight (finite SLC). We now
+                    // own a block we no longer hold: return it to memory
+                    // immediately so the directory stays consistent. The
+                    // displaced copy was clean, so memory is already
+                    // current and this writeback carries no new data — it
+                    // is an ownership relinquish that this protocol
+                    // expresses as a (rare) data-sized writeback.
+                    node.stats.writebacks += 1;
+                    let home = self.home_of(block);
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        done,
+                        n,
+                        home,
+                        Msg::CohReq {
+                            block,
+                            req: DirRequest::Writeback {
+                                from: NodeId::new(n),
+                            },
+                        },
+                    );
+                    // The store (and any merged read) still has to
+                    // complete: re-issue as a read-exclusive. The
+                    // writeback is sent first over the same route, so it
+                    // is delivered first — per-link FIFO for remote homes,
+                    // and the event queue's scheduled-order tie-break for
+                    // the local-home case. The pending-write accounting
+                    // carries over to the new transaction.
+                    let node = &mut self.nodes[ni];
+                    node.mshr
+                        .alloc(block, {
+                            let mut e = MshrEntry::new(TxnKind::ReadExclusive);
+                            e.waiting_cpu = entry.waiting_cpu;
+                            e.write_pending = entry.write_pending;
+                            e
+                        })
+                        .expect("slot just freed");
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        done,
+                        n,
+                        home,
+                        Msg::CohReq {
+                            block,
+                            req: DirRequest::ReadExclusive {
+                                from: NodeId::new(n),
+                            },
+                        },
+                    );
+                    self.unblock_drain(n, DrainBlock::MshrFull, done);
+                    return;
+                }
+                if entry.write_pending {
+                    self.complete_write(n, done);
+                }
+                self.unblock_drain(n, DrainBlock::MshrFull, done);
+            }
+            other => unreachable!("SLC received non-SLC message {other:?}"),
+        }
+    }
+
+    /// A data reply fills the SLC, completes the waiting transaction, and
+    /// resumes a blocked processor or follows up with an ownership upgrade
+    /// as needed.
+    fn slc_fill(&mut self, n: u16, block: BlockAddr, exclusive: bool, done: Cycle) {
+        let ni = n as usize;
+
+        let entry = self.nodes[ni]
+            .mshr
+            .remove(block)
+            .expect("data reply without transaction");
+
+        // Insert the block; a finite SLC may evict a victim.
+        let state = if exclusive {
+            LineState::Modified
+        } else {
+            LineState::Shared
+        };
+        let tagged =
+            entry.kind == TxnKind::Prefetch && !entry.prefetch_consumed && !entry.waiting_cpu;
+        let eviction = self.nodes[ni].slc.fill(block, state, tagged);
+        match eviction {
+            Eviction::None => {}
+            Eviction::Clean(victim) => {
+                let node = &mut self.nodes[ni];
+                node.flc.invalidate(victim);
+                node.removal
+                    .insert(victim, crate::stats::MissCause::Replacement);
+                // Clean copies are dropped silently; the directory's
+                // presence bit goes stale and a future invalidation will
+                // simply be acknowledged without effect.
+            }
+            Eviction::Dirty(victim) => {
+                let node = &mut self.nodes[ni];
+                node.flc.invalidate(victim);
+                node.removal
+                    .insert(victim, crate::stats::MissCause::Replacement);
+                node.stats.writebacks += 1;
+                let home = self.home_of(victim);
+                send(
+                    &mut self.mesh,
+                    &mut self.queue,
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::CohReq {
+                        block: victim,
+                        req: DirRequest::Writeback {
+                            from: NodeId::new(n),
+                        },
+                    },
+                );
+            }
+        }
+
+        if entry.waiting_cpu {
+            self.serve_waiting_read(n, block, done);
+        }
+
+        if entry.write_pending {
+            if exclusive {
+                self.complete_write(n, done);
+            } else {
+                // Ownership still needed: chain an upgrade. The slot just
+                // freed guarantees space.
+                let node = &mut self.nodes[ni];
+                node.mshr
+                    .alloc(block, {
+                        let mut e = MshrEntry::new(TxnKind::Upgrade);
+                        e.write_pending = true;
+                        e
+                    })
+                    .expect("slot just freed");
+                let home = self.home_of(block);
+                send(
+                    &mut self.mesh,
+                    &mut self.queue,
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::CohReq {
+                        block,
+                        req: DirRequest::Upgrade {
+                            from: NodeId::new(n),
+                        },
+                    },
+                );
+            }
+        }
+
+        self.unblock_drain(n, DrainBlock::MshrFull, done);
+    }
+
+    /// A write transaction completed: release-consistency bookkeeping
+    /// (and, under sequential consistency, the waiting processor resumes).
+    fn complete_write(&mut self, n: u16, at: Cycle) {
+        let ni = n as usize;
+        debug_assert!(self.nodes[ni].pending_write_txns > 0);
+        self.nodes[ni].pending_write_txns -= 1;
+        if self.nodes[ni].pending_write_txns == 0 {
+            self.unblock_drain(n, DrainBlock::ReleasePending, at);
+        }
+        self.resume_write(n, at);
+    }
+
+    /// Resumes a processor blocked on a write (sequential consistency).
+    fn resume_write(&mut self, n: u16, at: Cycle) {
+        let ni = n as usize;
+        if self.cfg.consistency == crate::ConsistencyModel::Sequential
+            && self.nodes[ni].status == CpuStatus::WaitWrite
+        {
+            let issue = self.nodes[ni].issue_time;
+            self.nodes[ni].stats.write_stall += at.saturating_since(issue).saturating_sub(1);
+            self.resume_cpu(n, at);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Home-side (directory, memory, locks, barriers)
+    // ----------------------------------------------------------------
+
+    /// Serves one request at the home node's controller: occupancy-limited
+    /// throughput plus pipeline latency.
+    fn home_service(&mut self, ni: usize, now: Cycle) -> Cycle {
+        self.nodes[ni].dir_server.serve(now, self.cfg.dir_occupancy) + self.cfg.dir_extra_latency
+    }
+
+    fn deliver(&mut self, n: u16, msg: Msg, now: Cycle) {
+        let ni = n as usize;
+        match msg {
+            Msg::CohReq { block, req } => {
+                let t0 = self.home_service(ni, now);
+                let actions = self.nodes[ni].dir.request(block, req);
+                self.exec_dir_actions(n, block, actions, t0);
+            }
+            Msg::FetchReply { block, had_copy } => {
+                let t0 = self.home_service(ni, now);
+                let actions = self.nodes[ni].dir.fetch_done(block, had_copy);
+                self.exec_dir_actions(n, block, actions, t0);
+            }
+            Msg::InvalAck { block } => {
+                let t0 = self.home_service(ni, now);
+                let actions = self.nodes[ni].dir.inval_ack(block);
+                self.exec_dir_actions(n, block, actions, t0);
+            }
+            Msg::Fetch { .. }
+            | Msg::Inval { .. }
+            | Msg::DataReply { .. }
+            | Msg::AckReply { .. } => {
+                self.nodes[ni].incoming.push_back(msg);
+                notify_slc(&mut self.nodes[ni], &mut self.queue, n, now);
+            }
+            Msg::LockReq { lock, from } => {
+                let t0 = self.home_service(ni, now);
+                if self.nodes[ni].locks.acquire(lock, from) {
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        t0,
+                        n,
+                        from.as_u16(),
+                        Msg::LockGrant { lock },
+                    );
+                }
+            }
+            Msg::UnlockReq { lock, from } => {
+                let t0 = self.home_service(ni, now);
+                if let Some(next) = self.nodes[ni].locks.release(lock, from) {
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        t0,
+                        n,
+                        next.as_u16(),
+                        Msg::LockGrant { lock },
+                    );
+                }
+            }
+            Msg::LockGrant { lock: _ } => {
+                debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitLock);
+                let issue = self.nodes[ni].issue_time;
+                self.nodes[ni].stats.sync_stall += now.saturating_since(issue);
+                self.resume_cpu(n, now + 1);
+            }
+            Msg::BarrierArrive { id, from } => {
+                let expected = self.cfg.nodes as usize;
+                if let Some(participants) = self.barriers.arrive(id, from, expected) {
+                    let t0 = self.home_service(ni, now);
+                    for p in participants {
+                        send(
+                            &mut self.mesh,
+                            &mut self.queue,
+                            self.cfg.geometry,
+                            t0,
+                            n,
+                            p.as_u16(),
+                            Msg::BarrierRelease { id },
+                        );
+                    }
+                }
+            }
+            Msg::BarrierRelease { id: _ } => {
+                debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitBarrier);
+                let issue = self.nodes[ni].issue_time;
+                self.nodes[ni].stats.barrier_stall += now.saturating_since(issue);
+                self.resume_cpu(n, now + 1);
+            }
+        }
+    }
+
+    /// Executes the directory's actions at home node `h`, threading the
+    /// memory latency into data replies.
+    fn exec_dir_actions(&mut self, h: u16, block: BlockAddr, actions: Vec<DirAction>, t0: Cycle) {
+        let hi = h as usize;
+        let mut data_ready = t0;
+        for action in actions {
+            match action {
+                DirAction::ReadMemory => {
+                    let (start, end) = self.nodes[hi]
+                        .mem
+                        .serve_timed(data_ready, self.cfg.mem_occupancy);
+                    let _ = start;
+                    data_ready = end + self.cfg.mem_extra_latency;
+                }
+                DirAction::WriteMemory => {
+                    self.nodes[hi].mem.serve(t0, self.cfg.mem_occupancy);
+                }
+                DirAction::SendData {
+                    to,
+                    exclusive,
+                    prefetch,
+                } => {
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        data_ready,
+                        h,
+                        to.as_u16(),
+                        Msg::DataReply {
+                            block,
+                            exclusive,
+                            prefetch,
+                        },
+                    );
+                }
+                DirAction::SendAck { to } => {
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        t0,
+                        h,
+                        to.as_u16(),
+                        Msg::AckReply { block },
+                    );
+                }
+                DirAction::Fetch { owner } => {
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        t0,
+                        h,
+                        owner.as_u16(),
+                        Msg::Fetch {
+                            block,
+                            inval: false,
+                            home: NodeId::new(h),
+                        },
+                    );
+                }
+                DirAction::FetchInval { owner } => {
+                    send(
+                        &mut self.mesh,
+                        &mut self.queue,
+                        self.cfg.geometry,
+                        t0,
+                        h,
+                        owner.as_u16(),
+                        Msg::Fetch {
+                            block,
+                            inval: true,
+                            home: NodeId::new(h),
+                        },
+                    );
+                }
+                DirAction::Invalidate { targets } => {
+                    for target in targets.iter() {
+                        send(
+                            &mut self.mesh,
+                            &mut self.queue,
+                            self.cfg.geometry,
+                            t0,
+                            h,
+                            target.as_u16(),
+                            Msg::Inval {
+                                block,
+                                home: NodeId::new(h),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

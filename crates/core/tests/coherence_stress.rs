@@ -1,0 +1,197 @@
+//! Randomized stress tests of the full coherence machinery: property-based
+//! multi-processor traces over a small shared region, checked for
+//! termination (no protocol deadlock), coherence-audit cleanliness and
+//! statistics invariants, across prefetching schemes and cache sizes.
+
+use pfsim::{System, SystemConfig};
+use pfsim_mem::{Addr, Pc};
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::{Op, TraceWorkload};
+use proptest::prelude::*;
+
+/// Builds a random 16-CPU workload over a small shared region: reads,
+/// writes, computes, locks and barriers, so transactions collide hard.
+fn random_workload(ops_per_cpu: &[Vec<(u8, u16)>], blocks: u64, locks: u64) -> TraceWorkload {
+    let region_base = 16 * 4096u64; // page 16: home node 0
+    let lock_base = 64 * 4096u64;
+    let mut traces: Vec<Vec<Op>> = Vec::new();
+    for (cpu, ops) in ops_per_cpu.iter().enumerate() {
+        let mut trace = Vec::new();
+        let mut held: Option<Addr> = None;
+        for &(kind, value) in ops {
+            let addr = Addr::new(region_base + u64::from(value) % blocks * 32);
+            let pc = Pc::new(0x400 + u32::from(kind % 7) * 4);
+            match kind % 6 {
+                0 | 1 => trace.push(Op::Read { addr, pc }),
+                2 => trace.push(Op::Write { addr, pc }),
+                3 => trace.push(Op::Compute {
+                    cycles: u32::from(value % 19) + 1,
+                }),
+                4 => {
+                    // Locks must nest properly: release any held lock
+                    // before acquiring another.
+                    if let Some(lock) = held.take() {
+                        trace.push(Op::Release { lock });
+                    }
+                    let lock = Addr::new(lock_base + u64::from(value) % locks * 64);
+                    trace.push(Op::Acquire { lock });
+                    held = Some(lock);
+                }
+                _ => {
+                    if let Some(lock) = held.take() {
+                        trace.push(Op::Release { lock });
+                    }
+                }
+            }
+        }
+        if let Some(lock) = held.take() {
+            trace.push(Op::Release { lock });
+        }
+        traces.push(trace);
+        let _ = cpu;
+    }
+    // A final barrier so every processor's trace ends synchronized.
+    for trace in &mut traces {
+        trace.push(Op::Barrier { id: 999 });
+    }
+    TraceWorkload::new("stress", traces)
+}
+
+fn check(workload: TraceWorkload, scheme: Scheme, finite_slc: bool) {
+    let mut cfg = SystemConfig::paper_baseline().with_scheme(scheme);
+    if finite_slc {
+        // Tiny SLC: maximal replacement churn against in-flight
+        // transactions.
+        cfg = cfg.with_finite_slc(1024);
+    }
+    let mut sys = System::new(cfg, workload);
+    let r = sys.run(); // panics on deadlock
+    sys.audit_coherence(); // panics on divergence
+    assert_eq!(r.dir.stale_writebacks, 0);
+
+    for (i, n) in r.nodes.iter().enumerate() {
+        assert!(
+            n.flc_read_hits + n.slc_read_hits + n.read_misses + n.delayed_hits == n.reads,
+            "node {i}: read accounting broken: {n:?}"
+        );
+        assert!(n.prefetches_useful <= n.prefetches_issued, "node {i}");
+        assert_eq!(
+            n.cold_misses + n.coherence_misses + n.replacement_misses,
+            n.read_misses,
+            "node {i}: miss-cause accounting broken"
+        );
+        if !finite_slc {
+            assert_eq!(n.replacement_misses, 0, "node {i}");
+            assert_eq!(n.writebacks, 0, "node {i}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random contended traces terminate with coherent caches and
+    /// consistent statistics, for every scheme, with an infinite SLC.
+    #[test]
+    fn stress_infinite_slc(
+        ops in proptest::collection::vec(
+            proptest::collection::vec((0u8..6, 0u16..512), 20..120),
+            16..=16,
+        ),
+        scheme_pick in 0u8..5,
+    ) {
+        let scheme = match scheme_pick {
+            0 => Scheme::None,
+            1 => Scheme::Sequential { degree: 2 },
+            2 => Scheme::IDetection { degree: 1 },
+            3 => Scheme::DDetection { degree: 1 },
+            _ => Scheme::SimpleStride { degree: 1 },
+        };
+        check(random_workload(&ops, 48, 4), scheme, false);
+    }
+
+    /// The same property with a tiny finite SLC (replacements and
+    /// writebacks racing against fetches and upgrades).
+    #[test]
+    fn stress_finite_slc(
+        ops in proptest::collection::vec(
+            proptest::collection::vec((0u8..6, 0u16..512), 20..120),
+            16..=16,
+        ),
+        scheme_pick in 0u8..5,
+    ) {
+        let scheme = match scheme_pick {
+            0 => Scheme::None,
+            1 => Scheme::Sequential { degree: 4 },
+            2 => Scheme::IDetection { degree: 2 },
+            3 => Scheme::DDetection { degree: 1 },
+            _ => Scheme::AdaptiveSequential { initial_degree: 2, max_degree: 8 },
+        };
+        check(random_workload(&ops, 96, 4), scheme, true);
+    }
+}
+
+/// A directed worst case: every CPU hammers the same single block with
+/// reads and writes, no synchronization — ownership migrates constantly.
+#[test]
+fn single_block_hammer() {
+    let mut traces = Vec::new();
+    for cpu in 0..16usize {
+        let mut t = Vec::new();
+        for k in 0..200u32 {
+            let addr = Addr::new(16 * 4096);
+            let pc = Pc::new(0x500);
+            if (k as usize + cpu).is_multiple_of(3) {
+                t.push(Op::Write { addr, pc });
+            } else {
+                t.push(Op::Read { addr, pc });
+            }
+            t.push(Op::Compute {
+                cycles: 1 + (cpu as u32 % 5),
+            });
+        }
+        traces.push(t);
+    }
+    let mut sys = System::new(
+        SystemConfig::paper_baseline(),
+        TraceWorkload::new("hammer", traces),
+    );
+    let r = sys.run();
+    sys.audit_coherence();
+    // The block bounces: lots of invalidations and owner-supplied fills.
+    assert!(r.total(|n| n.invals_received) > 100);
+    assert!(r.dir.owner_supplied > 100);
+}
+
+/// Writebacks racing with fetches: two CPUs alternately write a region
+/// that thrashes a tiny SLC while a third reads it.
+#[test]
+fn writeback_fetch_races() {
+    let mut traces = vec![Vec::new(); 16];
+    let base = 16 * 4096u64;
+    // CPUs 0 and 1 write 128 blocks (conflict-evicting in a 1 KB SLC =
+    // 32 blocks), CPU 2 chases them with reads.
+    for k in 0..128u64 {
+        for trace in traces.iter_mut().take(2) {
+            trace.push(Op::Write {
+                addr: Addr::new(base + k * 32),
+                pc: Pc::new(0x600),
+            });
+        }
+        traces[2].push(Op::Read {
+            addr: Addr::new(base + k * 32),
+            pc: Pc::new(0x604),
+        });
+    }
+    let mut sys = System::new(
+        SystemConfig::paper_baseline().with_finite_slc(1024),
+        TraceWorkload::new("wb-race", traces),
+    );
+    let r = sys.run();
+    sys.audit_coherence();
+    assert!(r.total(|n| n.writebacks) > 50, "no churn: {:?}", r.dir);
+    assert_eq!(r.dir.stale_writebacks, 0);
+}

@@ -1,0 +1,295 @@
+//! Newtypes for the simulator's address spaces.
+
+use std::fmt;
+
+/// A byte address in the simulated shared address space.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::Addr;
+/// let a = Addr::new(0x100);
+/// assert_eq!(a.offset(0x20), Addr::new(0x120));
+/// assert_eq!(a.offset(-0x10), Addr::new(0xf0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Addr(addr)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The address displaced by a signed byte `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the displacement underflows or overflows
+    /// the address space.
+    #[inline]
+    pub fn offset(self, delta: i64) -> Addr {
+        debug_assert!(
+            self.0.checked_add_signed(delta).is_some(),
+            "address displacement out of range"
+        );
+        Addr(self.0.wrapping_add_signed(delta))
+    }
+
+    /// Signed byte distance from `other` to `self` — the *stride* between
+    /// two data addresses as computed by the stride-detection hardware.
+    #[inline]
+    pub fn stride_from(self, other: Addr) -> i64 {
+        self.0.wrapping_sub(other.0) as i64
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block number (byte address divided by the block size).
+///
+/// Coherence, prefetching and the caches all operate at this granularity.
+/// Block-number arithmetic is what the prefetch engines use to step along a
+/// stream: block *B+1* is the next sequential block.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::BlockAddr;
+/// let b = BlockAddr::new(10);
+/// assert_eq!(b.offset(2), Some(BlockAddr::new(12)));
+/// assert_eq!(b.offset(-11), None); // underflow: no such block
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block number.
+    #[inline]
+    pub const fn new(block: u64) -> Self {
+        BlockAddr(block)
+    }
+
+    /// The raw block number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The block displaced `delta` blocks away, or `None` on address-space
+    /// under/overflow.
+    #[inline]
+    pub fn offset(self, delta: i64) -> Option<BlockAddr> {
+        self.0.checked_add_signed(delta).map(BlockAddr)
+    }
+
+    /// Signed distance in blocks from `other` to `self`.
+    #[inline]
+    pub fn stride_from(self, other: BlockAddr) -> i64 {
+        self.0.wrapping_sub(other.0) as i64
+    }
+}
+
+impl fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {:#x}", self.0)
+    }
+}
+
+/// A virtual page number.
+///
+/// Pages are the unit of placement (round-robin across nodes) and the hard
+/// boundary for prefetching: the paper forbids prefetching across a page
+/// boundary so a useless prefetch can never fault.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page number.
+    #[inline]
+    pub const fn new(page: u64) -> Self {
+        PageAddr(page)
+    }
+
+    /// The raw page number.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page {:#x}", self.0)
+    }
+}
+
+/// Identifier of a processing node (0..15 in the paper's 16-node system).
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::NodeId;
+/// let n = NodeId::new(5);
+/// assert_eq!(n.index(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node identifier.
+    #[inline]
+    pub const fn new(id: u16) -> Self {
+        NodeId(id)
+    }
+
+    /// The node number as a `usize`, for indexing per-node tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw node number.
+    #[inline]
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Node({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {}", self.0)
+    }
+}
+
+/// The instruction address (program counter) of a load instruction.
+///
+/// I-detection stride prefetching keys its Reference Prediction Table on
+/// this value: accesses from the same load site are assumed to belong to the
+/// same stride sequence. Workload models assign one stable `Pc` per load
+/// site in their inner loops, mirroring how a compiled binary would behave.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::Pc;
+/// let pc = Pc::new(0x400120);
+/// assert_eq!(pc.as_u32(), 0x400120);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u32);
+
+impl Pc {
+    /// Creates a program-counter value.
+    #[inline]
+    pub const fn new(pc: u32) -> Self {
+        Pc(pc)
+    }
+
+    /// The raw program-counter value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pc({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc {:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_offset_and_stride_are_inverse() {
+        let a = Addr::new(0x1000);
+        let b = a.offset(0x40);
+        assert_eq!(b.stride_from(a), 0x40);
+        assert_eq!(a.stride_from(b), -0x40);
+    }
+
+    #[test]
+    fn negative_addr_offset() {
+        assert_eq!(Addr::new(100).offset(-36), Addr::new(64));
+    }
+
+    #[test]
+    fn block_offset_checks_bounds() {
+        assert_eq!(BlockAddr::new(3).offset(-3), Some(BlockAddr::new(0)));
+        assert_eq!(BlockAddr::new(3).offset(-4), None);
+        assert_eq!(BlockAddr::new(u64::MAX).offset(1), None);
+    }
+
+    #[test]
+    fn block_stride_is_signed() {
+        let a = BlockAddr::new(100);
+        let b = BlockAddr::new(79);
+        assert_eq!(b.stride_from(a), -21);
+        assert_eq!(a.stride_from(b), 21);
+    }
+
+    #[test]
+    fn node_id_indexing() {
+        assert_eq!(NodeId::new(15).index(), 15);
+        assert_eq!(NodeId::new(15).as_u16(), 15);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert!(!format!("{:?}", Addr::new(1)).is_empty());
+        assert!(!format!("{:?}", BlockAddr::new(1)).is_empty());
+        assert!(!format!("{:?}", PageAddr::new(1)).is_empty());
+        assert!(!format!("{:?}", NodeId::new(1)).is_empty());
+        assert!(!format!("{:?}", Pc::new(1)).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Block/page geometry of the memory system.
+
+use crate::{Addr, BlockAddr, PageAddr};
+
+/// The granularities of the memory hierarchy: block size and page size.
+///
+/// Both must be powers of two. [`Geometry::paper`] reproduces Table 1 of the
+/// paper: 32-byte blocks (both cache levels) and 4 KB pages.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::{Addr, Geometry};
+///
+/// let g = Geometry::paper();
+/// assert_eq!(g.block_bytes(), 32);
+/// assert_eq!(g.page_bytes(), 4096);
+/// assert_eq!(g.blocks_per_page(), 128);
+///
+/// let a = Addr::new(4096 + 33);
+/// assert_eq!(g.block_of(a).as_u64(), 129);
+/// assert_eq!(g.page_of(a).as_u64(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    block_shift: u32,
+    page_shift: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry with the given block and page sizes in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is not a power of two, or if a page is not at
+    /// least one block.
+    pub fn new(block_bytes: u64, page_bytes: u64) -> Self {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two, got {block_bytes}"
+        );
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two, got {page_bytes}"
+        );
+        assert!(
+            page_bytes >= block_bytes,
+            "a page ({page_bytes} B) must hold at least one block ({block_bytes} B)"
+        );
+        Geometry {
+            block_shift: block_bytes.trailing_zeros(),
+            page_shift: page_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The paper's geometry: 32-byte blocks, 4 KB pages (Table 1).
+    pub fn paper() -> Self {
+        Geometry::new(32, 4096)
+    }
+
+    /// Block size in bytes.
+    #[inline]
+    pub const fn block_bytes(self) -> u64 {
+        1 << self.block_shift
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub const fn page_bytes(self) -> u64 {
+        1 << self.page_shift
+    }
+
+    /// Number of blocks per page.
+    #[inline]
+    pub const fn blocks_per_page(self) -> u64 {
+        1 << (self.page_shift - self.block_shift)
+    }
+
+    /// The block containing byte address `addr`.
+    #[inline]
+    pub const fn block_of(self, addr: Addr) -> BlockAddr {
+        BlockAddr::new(addr.as_u64() >> self.block_shift)
+    }
+
+    /// The first byte address of `block`.
+    #[inline]
+    pub const fn block_base(self, block: BlockAddr) -> Addr {
+        Addr::new(block.as_u64() << self.block_shift)
+    }
+
+    /// The page containing byte address `addr`.
+    #[inline]
+    pub const fn page_of(self, addr: Addr) -> PageAddr {
+        PageAddr::new(addr.as_u64() >> self.page_shift)
+    }
+
+    /// The page containing `block`.
+    #[inline]
+    pub const fn page_of_block(self, block: BlockAddr) -> PageAddr {
+        PageAddr::new(block.as_u64() >> (self.page_shift - self.block_shift))
+    }
+
+    /// Whether two blocks lie in the same page — the prefetch-legality test:
+    /// the paper forbids prefetching across page boundaries.
+    #[inline]
+    pub fn same_page(self, a: BlockAddr, b: BlockAddr) -> bool {
+        self.page_of_block(a) == self.page_of_block(b)
+    }
+
+    /// Converts a byte stride to a block stride, rounding toward zero.
+    ///
+    /// A stride shorter than the block size yields zero: such a sequence
+    /// stays inside one block and is what makes sequential prefetching
+    /// competitive with stride prefetching ("most strides are shorter than
+    /// the block size").
+    #[inline]
+    pub const fn byte_stride_to_blocks(self, stride: i64) -> i64 {
+        stride / (1 << self.block_shift)
+    }
+}
+
+impl Default for Geometry {
+    /// The paper's geometry.
+    fn default() -> Self {
+        Geometry::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table1() {
+        let g = Geometry::paper();
+        assert_eq!(g.block_bytes(), 32);
+        assert_eq!(g.page_bytes(), 4096);
+        assert_eq!(g.blocks_per_page(), 128);
+    }
+
+    #[test]
+    fn block_and_page_extraction() {
+        let g = Geometry::paper();
+        let a = Addr::new(0x2345);
+        assert_eq!(g.block_of(a), BlockAddr::new(0x2345 / 32));
+        assert_eq!(g.page_of(a), PageAddr::new(2));
+        assert_eq!(g.page_of_block(g.block_of(a)), g.page_of(a));
+    }
+
+    #[test]
+    fn block_base_is_aligned() {
+        let g = Geometry::paper();
+        for raw in [0u64, 31, 32, 33, 4095, 4096] {
+            let base = g.block_base(g.block_of(Addr::new(raw)));
+            assert_eq!(base.as_u64() % 32, 0);
+            assert!(base.as_u64() <= raw && raw < base.as_u64() + 32);
+        }
+    }
+
+    #[test]
+    fn same_page_detects_boundaries() {
+        let g = Geometry::paper();
+        let last_in_page0 = BlockAddr::new(127);
+        let first_in_page1 = BlockAddr::new(128);
+        assert!(g.same_page(BlockAddr::new(0), last_in_page0));
+        assert!(!g.same_page(last_in_page0, first_in_page1));
+    }
+
+    #[test]
+    fn byte_stride_conversion_truncates() {
+        let g = Geometry::paper();
+        assert_eq!(g.byte_stride_to_blocks(8), 0);
+        assert_eq!(g.byte_stride_to_blocks(32), 1);
+        assert_eq!(g.byte_stride_to_blocks(672), 21); // Water's molecule stride
+        assert_eq!(g.byte_stride_to_blocks(-64), -2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_block() {
+        Geometry::new(24, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn rejects_page_smaller_than_block() {
+        Geometry::new(64, 32);
+    }
+}

@@ -1,0 +1,100 @@
+//! Placement of pages across the nodes of the NUMA machine.
+
+use crate::{NodeId, PageAddr};
+
+/// Assignment of virtual pages to home nodes.
+///
+/// The paper allocates pages "across nodes in a round-robin fashion based on
+/// the least significant bits of the virtual page number"
+/// ([`PagePlacement::round_robin`]). A [`PagePlacement::fixed`] variant pins
+/// every page to one node, which is useful in unit tests and for modelling
+/// centralized structures.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::{NodeId, PageAddr, PagePlacement};
+///
+/// let p = PagePlacement::round_robin(16);
+/// assert_eq!(p.home_of(PageAddr::new(0)), NodeId::new(0));
+/// assert_eq!(p.home_of(PageAddr::new(17)), NodeId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagePlacement {
+    /// Page `p` lives on node `p mod nodes`.
+    RoundRobin {
+        /// Number of nodes in the system.
+        nodes: u16,
+    },
+    /// Every page lives on the same node.
+    Fixed {
+        /// The home node for all pages.
+        node: NodeId,
+    },
+}
+
+impl PagePlacement {
+    /// Round-robin placement over `nodes` nodes, as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn round_robin(nodes: u16) -> Self {
+        assert!(nodes > 0, "a system needs at least one node");
+        PagePlacement::RoundRobin { nodes }
+    }
+
+    /// All pages homed on `node`.
+    pub fn fixed(node: NodeId) -> Self {
+        PagePlacement::Fixed { node }
+    }
+
+    /// The home node of `page`.
+    #[inline]
+    pub fn home_of(self, page: PageAddr) -> NodeId {
+        match self {
+            PagePlacement::RoundRobin { nodes } => {
+                NodeId::new((page.as_u64() % u64::from(nodes)) as u16)
+            }
+            PagePlacement::Fixed { node } => node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_through_nodes() {
+        let p = PagePlacement::round_robin(4);
+        let homes: Vec<_> = (0..8)
+            .map(|i| p.home_of(PageAddr::new(i)).index())
+            .collect();
+        assert_eq!(homes, [0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fixed_pins_everything() {
+        let p = PagePlacement::fixed(NodeId::new(3));
+        for i in [0u64, 1, 99, 1 << 40] {
+            assert_eq!(p.home_of(PageAddr::new(i)), NodeId::new(3));
+        }
+    }
+
+    #[test]
+    fn round_robin_distributes_evenly() {
+        let p = PagePlacement::round_robin(16);
+        let mut counts = [0u32; 16];
+        for i in 0..1600 {
+            counts[p.home_of(PageAddr::new(i)).index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        PagePlacement::round_robin(0);
+    }
+}

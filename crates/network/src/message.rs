@@ -1,0 +1,55 @@
+//! Message sizing.
+
+/// The kinds of messages the coherence protocol and synchronization put on
+/// the network, with their sizes in 32-bit flits.
+///
+/// Sizing follows the paper's flit width (32 bits): a control message is a
+/// 64-bit header (command, addresses, source) = 2 flits; a data message
+/// adds the 32-byte block = 8 more flits.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_network::MessageKind;
+///
+/// assert_eq!(MessageKind::Control.flits(), 2);
+/// assert_eq!(MessageKind::Data.flits(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Requests, invalidations, acknowledgements, lock traffic: header only.
+    Control,
+    /// Replies and writebacks carrying one 32-byte block.
+    Data,
+}
+
+impl MessageKind {
+    /// Message length in 32-bit flits for the paper's 32-byte blocks.
+    pub const fn flits(self) -> u64 {
+        self.flits_for(32)
+    }
+
+    /// Message length in 32-bit flits for a given coherence block size
+    /// (data messages scale with the payload; the block-size ablation
+    /// depends on this).
+    pub const fn flits_for(self, block_bytes: u64) -> u64 {
+        match self {
+            MessageKind::Control => 2,
+            MessageKind::Data => 2 + block_bytes.div_ceil(4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_message_carries_a_block() {
+        // 8 flits of payload at 4 bytes per flit = one 32-byte block.
+        assert_eq!(
+            (MessageKind::Data.flits() - MessageKind::Control.flits()) * 4,
+            32
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic discrete-event simulation kernel for the `pfsim`
+//! multiprocessor simulator.
+//!
+//! The kernel is deliberately small: a [`Cycle`] time type counted in
+//! processor clocks (*pclocks*, 10 ns at the paper's 100 MHz), a
+//! deterministic [`EventQueue`] that breaks ties in strict
+//! first-scheduled-first-delivered order, and a [`FifoServer`] helper used
+//! to model contended single-ported resources (SRAM ports, memory banks,
+//! bus slots, network links).
+//!
+//! Determinism is a design requirement, not an optimization: the paper's
+//! methodology relies on the *same interleaving of memory references* being
+//! maintained between runs of the same configuration, so every experiment in
+//! the reproduction must be exactly repeatable.
+//!
+//! # Examples
+//!
+//! ```
+//! use pfsim_engine::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycle::new(5), "b");
+//! q.schedule(Cycle::new(2), "a");
+//! q.schedule(Cycle::new(5), "c"); // same time as "b", scheduled later
+//!
+//! assert_eq!(q.pop(), Some((Cycle::new(2), "a")));
+//! assert_eq!(q.pop(), Some((Cycle::new(5), "b")));
+//! assert_eq!(q.pop(), Some((Cycle::new(5), "c")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+mod server;
+mod time;
+
+pub use queue::EventQueue;
+pub use server::FifoServer;
+pub use time::Cycle;

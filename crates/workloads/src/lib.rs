@@ -1,0 +1,153 @@
+//! Parallel scientific workload models for the prefetching study.
+//!
+//! The paper drives its simulator with six applications — MP3D, Cholesky,
+//! Water and PTHOR from the SPLASH suite plus the Stanford LU and Ocean
+//! programs — compiled for SPARC and executed program-driven. This crate
+//! substitutes *workload models*: Rust implementations of the same parallel
+//! algorithms that emit, per processor, the stream of shared-memory
+//! operations ([`Op`]) the application's parallel section would issue —
+//! PC-tagged reads, writes, compute delays, lock acquire/release and
+//! barriers. The models reproduce each application's documented data
+//! layout, partitioning, synchronization and sharing structure, which is
+//! what determines the Table 2 characteristics (fraction of read misses in
+//! stride sequences, sequence lengths, dominant strides) that the paper
+//! uses to explain its results. See `DESIGN.md` for the substitution
+//! rationale.
+//!
+//! All generators are deterministic: the same parameters always produce the
+//! same trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use pfsim_workloads::{lu, Workload};
+//!
+//! let mut wl = lu::build(lu::LuParams { n: 32, ..Default::default() });
+//! assert_eq!(wl.num_cpus(), 16);
+//! let first = wl.next(0).expect("cpu 0 has work");
+//! println!("cpu 0 starts with {first:?}");
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod op;
+mod stats;
+
+pub mod cholesky;
+pub mod lu;
+pub mod micro;
+pub mod mp3d;
+pub mod ocean;
+pub mod pthor;
+pub mod water;
+
+pub use builder::TraceBuilder;
+pub use op::{Op, TraceWorkload, Workload};
+pub use stats::{trace_stats, TraceStats};
+
+/// The six applications of the paper's evaluation, in its presentation
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Rarefied-fluid particle simulation (SPLASH).
+    Mp3d,
+    /// Sparse Cholesky factorization (SPLASH).
+    Cholesky,
+    /// N-body molecular dynamics of water (SPLASH).
+    Water,
+    /// Dense LU factorization (Stanford).
+    Lu,
+    /// Ocean-basin eddy-current simulation (Stanford).
+    Ocean,
+    /// Parallel logic simulator (SPLASH).
+    Pthor,
+}
+
+impl App {
+    /// All six applications in the paper's order.
+    pub const ALL: [App; 6] = [
+        App::Mp3d,
+        App::Cholesky,
+        App::Water,
+        App::Lu,
+        App::Ocean,
+        App::Pthor,
+    ];
+
+    /// The application's display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Mp3d => "MP3D",
+            App::Cholesky => "Cholesky",
+            App::Water => "Water",
+            App::Lu => "LU",
+            App::Ocean => "Ocean",
+            App::Pthor => "PTHOR",
+        }
+    }
+
+    /// Builds the workload at the default (scaled-down) problem size.
+    pub fn build_default(self) -> TraceWorkload {
+        match self {
+            App::Mp3d => mp3d::build(Default::default()),
+            App::Cholesky => cholesky::build(Default::default()),
+            App::Water => water::build(Default::default()),
+            App::Lu => lu::build(Default::default()),
+            App::Ocean => ocean::build(Default::default()),
+            App::Pthor => pthor::build(Default::default()),
+        }
+    }
+
+    /// Builds the workload at (approximately) the paper's problem size.
+    pub fn build_paper(self) -> TraceWorkload {
+        match self {
+            App::Mp3d => mp3d::build(mp3d::Mp3dParams::paper()),
+            App::Cholesky => cholesky::build(cholesky::CholeskyParams::paper()),
+            App::Water => water::build(water::WaterParams::paper()),
+            App::Lu => lu::build(lu::LuParams::paper()),
+            App::Ocean => ocean::build(ocean::OceanParams::paper()),
+            App::Pthor => pthor::build(pthor::PthorParams::paper()),
+        }
+    }
+
+    /// Builds the workload at an enlarged problem size (the §5.4 study).
+    pub fn build_large(self) -> TraceWorkload {
+        match self {
+            App::Mp3d => mp3d::build(mp3d::Mp3dParams::large()),
+            App::Cholesky => cholesky::build(cholesky::CholeskyParams::large()),
+            App::Water => water::build(water::WaterParams::large()),
+            App::Lu => lu::build(lu::LuParams::large()),
+            App::Ocean => ocean::build(ocean::OceanParams::large()),
+            App::Pthor => pthor::build(pthor::PthorParams::paper()),
+        }
+    }
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_build_at_default_size() {
+        for app in App::ALL {
+            let mut wl = app.build_default();
+            assert_eq!(wl.num_cpus(), 16, "{app}");
+            let total: usize = (0..16).map(|c| wl.remaining(c)).sum();
+            assert!(total > 1000, "{app} produced only {total} ops");
+            assert!(wl.next(0).is_some(), "{app} cpu 0 empty");
+        }
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        let names: Vec<_> = App::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["MP3D", "Cholesky", "Water", "LU", "Ocean", "PTHOR"]);
+    }
+}

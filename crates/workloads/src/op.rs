@@ -1,0 +1,190 @@
+//! The shared-memory operation vocabulary and the trace container.
+
+use pfsim_mem::{Addr, Pc};
+
+/// One operation issued by a simulated processor.
+///
+/// Instructions and private data are simulated as always hitting in the
+/// first-level cache, exactly as in the paper's methodology; they appear
+/// here only in aggregate as [`Op::Compute`] delays. Shared-data references
+/// carry the program counter of the issuing load/store so I-detection can
+/// key its Reference Prediction Table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A load from shared memory.
+    Read {
+        /// Byte address.
+        addr: Addr,
+        /// Instruction address of the load.
+        pc: Pc,
+    },
+    /// A store to shared memory.
+    Write {
+        /// Byte address.
+        addr: Addr,
+        /// Instruction address of the store.
+        pc: Pc,
+    },
+    /// Local computation: the processor is busy for `cycles` pclocks.
+    Compute {
+        /// Duration in pclocks.
+        cycles: u32,
+    },
+    /// Acquire the queue-based lock at `lock` (blocks until granted).
+    Acquire {
+        /// Address identifying the lock (its home node holds the queue).
+        lock: Addr,
+    },
+    /// Release the lock at `lock` (a release under release consistency:
+    /// all prior writes must complete first).
+    Release {
+        /// Address identifying the lock.
+        lock: Addr,
+    },
+    /// Wait at barrier `id` until all participants arrive.
+    Barrier {
+        /// Barrier identifier.
+        id: u32,
+    },
+}
+
+/// A per-processor stream of operations.
+///
+/// The full-system simulator pulls operations with [`next`](Self::next);
+/// the *timing* of consumption is the simulator's business, so the same
+/// workload produces the same reference streams under every architecture
+/// configuration — the property the paper's program-driven methodology
+/// guarantees and this reproduction preserves by construction.
+pub trait Workload {
+    /// Number of processors the workload was built for.
+    fn num_cpus(&self) -> usize;
+
+    /// The next operation for `cpu`, or `None` when that processor's
+    /// parallel section is done.
+    fn next(&mut self, cpu: usize) -> Option<Op>;
+
+    /// Workload name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A fully materialized trace: one operation vector per processor.
+///
+/// All workload generators in this crate produce `TraceWorkload`s. The
+/// explicit representation keeps generators simple (straight-line algorithm
+/// code) and guarantees determinism and replayability.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::{Addr, Pc};
+/// use pfsim_workloads::{Op, TraceWorkload, Workload};
+///
+/// let mut wl = TraceWorkload::new(
+///     "demo",
+///     vec![vec![Op::Compute { cycles: 3 }], vec![]],
+/// );
+/// assert_eq!(wl.num_cpus(), 2);
+/// assert_eq!(wl.next(0), Some(Op::Compute { cycles: 3 }));
+/// assert_eq!(wl.next(0), None);
+/// assert_eq!(wl.next(1), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    name: String,
+    traces: Vec<Vec<Op>>,
+    cursors: Vec<usize>,
+}
+
+impl TraceWorkload {
+    /// Wraps per-CPU operation vectors as a workload.
+    pub fn new(name: impl Into<String>, traces: Vec<Vec<Op>>) -> Self {
+        let cursors = vec![0; traces.len()];
+        TraceWorkload {
+            name: name.into(),
+            traces,
+            cursors,
+        }
+    }
+
+    /// Operations not yet consumed by `cpu`.
+    pub fn remaining(&self, cpu: usize) -> usize {
+        self.traces[cpu].len() - self.cursors[cpu]
+    }
+
+    /// Total operations across all processors (consumed or not).
+    pub fn total_ops(&self) -> usize {
+        self.traces.iter().map(Vec::len).sum()
+    }
+
+    /// Read-only view of a processor's full trace (for analysis tools that
+    /// classify references without running the timing model).
+    pub fn trace(&self, cpu: usize) -> &[Op] {
+        &self.traces[cpu]
+    }
+
+    /// Rewinds all cursors so the workload can be replayed.
+    pub fn rewind(&mut self) {
+        self.cursors.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn num_cpus(&self) -> usize {
+        self.traces.len()
+    }
+
+    fn next(&mut self, cpu: usize) -> Option<Op> {
+        let cursor = &mut self.cursors[cpu];
+        let op = self.traces[cpu].get(*cursor).copied();
+        if op.is_some() {
+            *cursor += 1;
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursors_are_independent_per_cpu() {
+        let mut wl = TraceWorkload::new(
+            "t",
+            vec![
+                vec![Op::Compute { cycles: 1 }, Op::Compute { cycles: 2 }],
+                vec![Op::Compute { cycles: 9 }],
+            ],
+        );
+        assert_eq!(wl.next(1), Some(Op::Compute { cycles: 9 }));
+        assert_eq!(wl.next(0), Some(Op::Compute { cycles: 1 }));
+        assert_eq!(wl.next(1), None);
+        assert_eq!(wl.next(0), Some(Op::Compute { cycles: 2 }));
+        assert_eq!(wl.remaining(0), 0);
+    }
+
+    #[test]
+    fn rewind_replays_identically() {
+        let mut wl = TraceWorkload::new("t", vec![vec![Op::Compute { cycles: 1 }]]);
+        let a = wl.next(0);
+        wl.rewind();
+        let b = wl.next(0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_ops_counts_everything() {
+        let wl = TraceWorkload::new(
+            "t",
+            vec![
+                vec![Op::Compute { cycles: 1 }; 3],
+                vec![Op::Compute { cycles: 1 }; 2],
+            ],
+        );
+        assert_eq!(wl.total_ops(), 5);
+    }
+}

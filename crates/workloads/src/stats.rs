@@ -1,0 +1,153 @@
+//! Static trace statistics, in the style of the SPLASH report's workload
+//! tables: operation mix, shared-data footprint and sharing degree,
+//! computed from a trace without running the timing model.
+
+use std::collections::HashMap;
+
+use pfsim_mem::Geometry;
+
+use crate::{Op, TraceWorkload, Workload as _};
+
+/// Operation mix and sharing profile of one workload.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_workloads::{micro, trace_stats};
+///
+/// let stats = trace_stats(&micro::producer_consumer(16, 64));
+/// assert_eq!(stats.writes, 64);
+/// assert_eq!(stats.reads, 15 * 64);
+/// // Every block is written by one cpu and read by 15: fully shared.
+/// assert_eq!(stats.shared_blocks, 64);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Shared-data loads.
+    pub reads: u64,
+    /// Shared-data stores.
+    pub writes: u64,
+    /// Total compute pclocks.
+    pub compute_cycles: u64,
+    /// Lock acquires.
+    pub acquires: u64,
+    /// Barrier episodes (per-processor arrivals summed).
+    pub barrier_arrivals: u64,
+    /// Distinct 32-byte blocks referenced.
+    pub footprint_blocks: u64,
+    /// Blocks referenced by more than one processor.
+    pub shared_blocks: u64,
+    /// Blocks *written* by one processor and *referenced* by another —
+    /// the communication footprint that generates coherence misses.
+    pub communicated_blocks: u64,
+    /// Distinct load/store sites (program counters).
+    pub pc_sites: u64,
+}
+
+impl TraceStats {
+    /// Shared fraction of the footprint.
+    pub fn sharing_fraction(&self) -> f64 {
+        if self.footprint_blocks == 0 {
+            0.0
+        } else {
+            self.shared_blocks as f64 / self.footprint_blocks as f64
+        }
+    }
+
+    /// Footprint in bytes (32-byte blocks).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_blocks * 32
+    }
+}
+
+/// Computes the static statistics of `workload` (32-byte blocks).
+pub fn trace_stats(workload: &TraceWorkload) -> TraceStats {
+    let g = Geometry::paper();
+    let mut stats = TraceStats::default();
+    // block -> (reader/writer bitmask by cpu, written bitmask)
+    let mut touched: HashMap<u64, (u32, u32)> = HashMap::new();
+    let mut pcs: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+    for cpu in 0..workload.num_cpus() {
+        let bit = 1u32 << cpu.min(31);
+        for op in workload.trace(cpu) {
+            match *op {
+                Op::Read { addr, pc } => {
+                    stats.reads += 1;
+                    pcs.insert(pc.as_u32());
+                    touched.entry(g.block_of(addr).as_u64()).or_default().0 |= bit;
+                }
+                Op::Write { addr, pc } => {
+                    stats.writes += 1;
+                    pcs.insert(pc.as_u32());
+                    let e = touched.entry(g.block_of(addr).as_u64()).or_default();
+                    e.0 |= bit;
+                    e.1 |= bit;
+                }
+                Op::Compute { cycles } => stats.compute_cycles += u64::from(cycles),
+                Op::Acquire { .. } => stats.acquires += 1,
+                Op::Release { .. } => {}
+                Op::Barrier { .. } => stats.barrier_arrivals += 1,
+            }
+        }
+    }
+
+    stats.footprint_blocks = touched.len() as u64;
+    for (toucher_mask, writer_mask) in touched.values() {
+        if toucher_mask.count_ones() > 1 {
+            stats.shared_blocks += 1;
+            // Communicated: the block is written and more than one
+            // processor touches it, so ownership must move.
+            if *writer_mask != 0 {
+                stats.communicated_blocks += 1;
+            }
+        }
+    }
+    stats.pc_sites = pcs.len() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro;
+
+    #[test]
+    fn private_walks_share_nothing() {
+        let s = trace_stats(&micro::sequential_walk(4, 32, 1));
+        assert_eq!(s.reads, 4 * 32);
+        assert_eq!(s.footprint_blocks, 4 * 32);
+        assert_eq!(s.shared_blocks, 0);
+        assert_eq!(s.communicated_blocks, 0);
+        assert_eq!(s.sharing_fraction(), 0.0);
+    }
+
+    #[test]
+    fn producer_consumer_is_fully_communicated() {
+        let s = trace_stats(&micro::producer_consumer(4, 16));
+        assert_eq!(s.footprint_blocks, 16);
+        assert_eq!(s.shared_blocks, 16);
+        assert_eq!(s.communicated_blocks, 16);
+        assert_eq!(s.barrier_arrivals, 4);
+    }
+
+    #[test]
+    fn lock_ping_pong_counts_sync_ops() {
+        let s = trace_stats(&micro::lock_ping_pong(4, 10));
+        assert_eq!(s.acquires, 20);
+        assert!(s.shared_blocks >= 1);
+    }
+
+    #[test]
+    fn apps_have_meaningful_sharing() {
+        for app in crate::App::ALL {
+            let s = trace_stats(&app.build_default());
+            assert!(s.reads > 0 && s.writes > 0, "{app}");
+            assert!(
+                s.communicated_blocks > 0,
+                "{app} has no communication: {s:?}"
+            );
+            assert!(s.pc_sites >= 4, "{app}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The paper's own motivating example (§3.1, Figure 2): matrix
+//! multiplication `C = C + A*B` with row-major matrices. In the inner
+//! loop, the reads of `A[i,k]` form a stride sequence of one element
+//! (8 bytes — *within* a block), while the reads of `B[k,j]` form a stride
+//! sequence of one whole row (N elements). This example builds that loop
+//! as a workload, runs all three prefetching schemes on it, and shows how
+//! each one handles the two stride sequences.
+//!
+//! Run with: `cargo run --example matmul_strides --release`
+
+use prefetch_repro::pfsim::{System, SystemConfig};
+use prefetch_repro::pfsim_prefetch::Scheme;
+use prefetch_repro::pfsim_workloads::{TraceBuilder, TraceWorkload};
+
+/// Builds the Figure-2 triple loop on one processor (the other 15 idle):
+/// `for i { for j { for k { C[i,j] += A[i,k] * B[k,j] } } }`, all three
+/// matrices row-major N×N doubles.
+fn matmul(n: u64) -> TraceWorkload {
+    let mut b = TraceBuilder::new(format!("matmul-{n}"), 16);
+    let a = b.alloc("A", n * n, 8);
+    let bm = b.alloc("B", n * n, 8);
+    let c = b.alloc("C", n * n, 8);
+    let pc_a = b.pc_site(); // the A[i,k] load: stride = 8 bytes
+    let pc_b = b.pc_site(); // the B[k,j] load: stride = N*8 bytes
+    let pc_c_r = b.pc_site();
+    let pc_c_w = b.pc_site();
+    let at = |b: &TraceBuilder, m, i, j| b.element(m, 8, i * n + j);
+    for i in 0..n {
+        for j in 0..n {
+            b.read(0, at(&b, c, i, j), pc_c_r);
+            for k in 0..n {
+                b.read(0, at(&b, a, i, k), pc_a);
+                b.read(0, at(&b, bm, k, j), pc_b);
+                b.compute(0, 4);
+            }
+            b.write(0, at(&b, c, i, j), pc_c_w);
+        }
+    }
+    b.finish()
+}
+
+fn main() {
+    let n = 64; // row = 512 B = 16 blocks
+    println!(
+        "Figure 2 matrix multiplication, N = {n} (row stride = {} blocks)",
+        n * 8 / 32
+    );
+    println!();
+    println!("A[i,k] forms stride-8B sequences (sub-block: sequential-friendly);");
+    println!(
+        "B[k,j] forms stride-{}B sequences (large: stride-prefetch territory).",
+        n * 8
+    );
+    println!();
+
+    let baseline = System::new(SystemConfig::paper_baseline(), matmul(n)).run();
+    println!(
+        "{:<10} misses {:>7}  stall {:>9}  efficiency {:>5}  traffic {:>8}",
+        "baseline",
+        baseline.read_misses(),
+        baseline.read_stall(),
+        "-",
+        baseline.net.flits,
+    );
+
+    for scheme in [
+        Scheme::Sequential { degree: 1 },
+        Scheme::IDetection { degree: 1 },
+        Scheme::DDetection { degree: 1 },
+    ] {
+        let r = System::new(
+            SystemConfig::paper_baseline().with_scheme(scheme),
+            matmul(n),
+        )
+        .run();
+        println!(
+            "{:<10} misses {:>7}  stall {:>9}  efficiency {:>5.2}  traffic {:>8}",
+            scheme.to_string(),
+            r.read_misses(),
+            r.read_stall(),
+            r.prefetch_efficiency(),
+            r.net.flits,
+        );
+    }
+
+    println!();
+    println!("What happened: on one processor with an infinite SLC, only cold");
+    println!("misses remain, and every block of A, B and C is eventually");
+    println!("touched — ideal for sequential prefetching. I-det detects B's");
+    println!("row-sized stride immediately, but its prefetches die at page");
+    println!(
+        "boundaries (a {}-byte stride crosses a 4 KB page every {} accesses),",
+        n * 8,
+        4096 / (n * 8)
+    );
+    println!("so it restarts the stream once per page — exactly the paper's");
+    println!("point that a stride's *value* matters as much as its existence.");
+}

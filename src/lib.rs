@@ -1,0 +1,28 @@
+//! Reproduction of Dahlgren & Stenström, *"Effectiveness of Hardware-Based
+//! Stride and Sequential Prefetching in Shared-Memory Multiprocessors"*
+//! (HPCA 1995).
+//!
+//! This umbrella crate re-exports the whole simulator stack so examples and
+//! integration tests can use one import. The interesting entry points are:
+//!
+//! * [`pfsim`] — the full-system CC-NUMA simulator ([`pfsim::System`],
+//!   [`pfsim::SystemConfig`]);
+//! * [`pfsim_prefetch`] — the three prefetching schemes under study;
+//! * [`pfsim_workloads`] — the six application models;
+//! * [`pfsim_analysis`] — the §5.1 stride-sequence characterization and the
+//!   Figure-6 metrics.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory.
+
+#![warn(missing_docs)]
+
+pub use pfsim;
+pub use pfsim_analysis;
+pub use pfsim_cache;
+pub use pfsim_coherence;
+pub use pfsim_engine;
+pub use pfsim_mem;
+pub use pfsim_network;
+pub use pfsim_prefetch;
+pub use pfsim_workloads;

@@ -10,7 +10,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_bench::{metrics_of, par_map, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -19,12 +19,33 @@ fn main() {
     let apps = [App::Lu, App::Ocean, App::Mp3d];
     let degrees = [1u32, 2, 4, 8];
 
-    for app in apps {
-        let base = metrics_of(&run_logged(
-            &format!("{app} baseline"),
-            SystemConfig::paper_baseline(),
-            size.build(app),
-        ));
+    // Per app: 1 baseline + 8 scheme runs, all independent — fan the
+    // whole 27-run sweep out and reassemble tables from in-order chunks.
+    let jobs: Vec<(App, Option<Scheme>)> = apps
+        .into_iter()
+        .flat_map(|app| {
+            std::iter::once((app, None)).chain(degrees.into_iter().flat_map(move |d| {
+                [
+                    (app, Some(Scheme::IDetection { degree: d })),
+                    (app, Some(Scheme::Sequential { degree: d })),
+                ]
+            }))
+        })
+        .collect();
+    let results = par_map(jobs, |(app, scheme)| {
+        let (label, cfg) = match scheme {
+            None => (format!("{app} baseline"), SystemConfig::paper_baseline()),
+            Some(s) => (
+                format!("{app} {s}"),
+                SystemConfig::paper_baseline().with_scheme(s),
+            ),
+        };
+        metrics_of(&run_logged(&label, cfg, size.build(app)))
+    });
+
+    let runs_per_app = 1 + 2 * degrees.len();
+    for (app, runs) in apps.into_iter().zip(results.chunks(runs_per_app)) {
+        let (base, scheme_runs) = runs.split_first().expect("baseline present");
         let mut table = TextTable::new(vec![
             "d".into(),
             "I-det misses".into(),
@@ -34,18 +55,10 @@ fn main() {
             "Seq stall".into(),
             "Seq eff".into(),
         ]);
-        for d in degrees {
+        for (d, pair) in degrees.into_iter().zip(scheme_runs.chunks(2)) {
             let mut row = vec![format!("{d}")];
-            for scheme in [
-                Scheme::IDetection { degree: d },
-                Scheme::Sequential { degree: d },
-            ] {
-                let run = metrics_of(&run_logged(
-                    &format!("{app} {scheme}"),
-                    SystemConfig::paper_baseline().with_scheme(scheme),
-                    size.build(app),
-                ));
-                let c = compare(&base, &run);
+            for run in pair {
+                let c = compare(base, run);
                 row.push(format!("{:.2}", c.relative_misses));
                 row.push(format!("{:.2}", c.relative_stall));
                 row.push(format!("{:.2}", c.efficiency));

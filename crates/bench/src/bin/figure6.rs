@@ -14,7 +14,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_bench::{metrics_of, par_map, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -32,23 +32,33 @@ fn main() {
     let mut traffic = TextTable::new(headers());
     let mut exec = TextTable::new(headers());
 
-    for app in App::ALL {
-        let base = metrics_of(&run_logged(
-            &format!("{app} baseline"),
-            SystemConfig::paper_baseline(),
-            size.build(app),
-        ));
+    // Every (app, scheme) run is independent: fan the whole grid out and
+    // reassemble rows from the in-order results (4 runs per app).
+    let jobs: Vec<(App, Option<Scheme>)> = App::ALL
+        .into_iter()
+        .flat_map(|app| {
+            std::iter::once((app, None)).chain(schemes.iter().map(move |&s| (app, Some(s))))
+        })
+        .collect();
+    let results = par_map(jobs, |(app, scheme)| {
+        let (label, cfg) = match scheme {
+            None => (format!("{app} baseline"), SystemConfig::paper_baseline()),
+            Some(s) => (
+                format!("{app} {s}"),
+                SystemConfig::paper_baseline().with_scheme(s),
+            ),
+        };
+        metrics_of(&run_logged(&label, cfg, size.build(app)))
+    });
+
+    for (app, runs) in App::ALL.into_iter().zip(results.chunks(1 + schemes.len())) {
+        let (base, scheme_runs) = runs.split_first().expect("baseline present");
         let mut rows = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for row in &mut rows {
             row.push(app.name().to_string());
         }
-        for scheme in schemes {
-            let run = metrics_of(&run_logged(
-                &format!("{app} {scheme}"),
-                SystemConfig::paper_baseline().with_scheme(scheme),
-                size.build(app),
-            ));
-            let c = compare(&base, &run);
+        for run in scheme_runs {
+            let c = compare(base, run);
             rows[0].push(format!("{:.2}", c.relative_misses));
             rows[1].push(format!("{:.2}", c.efficiency));
             rows[2].push(format!("{:.2}", c.relative_stall));

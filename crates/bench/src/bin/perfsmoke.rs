@@ -1,0 +1,100 @@
+//! A fixed-size performance smoke test for the simulator core.
+//!
+//! Runs the default-size Figure-6 workload matrix (every application,
+//! baseline plus the three degree-1 prefetching schemes) single-threaded
+//! and reports throughput as **simulated pclocks per wall-clock second**.
+//! The measurement is recorded under a label in `BENCH_PR1.json` at the
+//! workspace root so optimization work has a before/after ledger.
+//!
+//! Usage: `cargo run -p pfsim-bench --bin perfsmoke --release [-- --label NAME]`
+//!
+//! The conventional labels are `seed` (the pre-optimization event loop)
+//! and `optimized`; the default label is `current`.
+
+use std::time::Instant;
+
+use pfsim::{System, SystemConfig};
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::App;
+
+fn main() {
+    let label = label_from_args();
+    let schemes = [
+        None,
+        Some(Scheme::IDetection { degree: 1 }),
+        Some(Scheme::DDetection { degree: 1 }),
+        Some(Scheme::Sequential { degree: 1 }),
+    ];
+
+    // Warm up allocator and caches with one small run (not timed).
+    let _ = System::new(
+        SystemConfig::paper_baseline(),
+        pfsim_workloads::micro::sequential_walk(16, 64, 1),
+    )
+    .run();
+
+    let mut pclocks = 0u64;
+    let start = Instant::now();
+    for app in App::ALL {
+        for scheme in schemes {
+            let mut cfg = SystemConfig::paper_baseline();
+            if let Some(s) = scheme {
+                cfg = cfg.with_scheme(s);
+            }
+            let r = System::new(cfg, app.build_default()).run();
+            pclocks += r.exec_cycles;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let rate = pclocks as f64 / seconds;
+
+    println!("perfsmoke [{label}]: {pclocks} pclocks in {seconds:.2}s = {rate:.0} pclocks/sec");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    let entries = update_ledger(path, &label, pclocks, seconds, rate);
+    if let (Some(seed), Some(now)) = (rate_of(&entries, "seed"), rate_of(&entries, &label)) {
+        if label != "seed" {
+            println!("speedup vs seed: {:.2}x", now / seed);
+        }
+    }
+    println!("ledger: {path}");
+}
+
+fn label_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "current".to_string())
+}
+
+/// One ledger entry per line keyed by label; rewriting a label replaces
+/// its line. The file is a plain JSON object (only this binary writes it).
+fn update_ledger(path: &str, label: &str, pclocks: u64, seconds: f64, rate: f64) -> Vec<String> {
+    let mut entries: Vec<String> = std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| l.trim_start().starts_with('"'))
+        .filter(|l| !l.trim_start().starts_with(&format!("\"{label}\"")))
+        .map(|l| l.trim_end_matches(',').to_string())
+        .collect();
+    entries.push(format!(
+        "  \"{label}\": {{\"pclocks\": {pclocks}, \"seconds\": {seconds:.3}, \"pclocks_per_sec\": {rate:.0}}}"
+    ));
+    let body = entries.join(",\n");
+    std::fs::write(path, format!("{{\n{body}\n}}\n")).expect("write BENCH_PR1.json");
+    entries
+}
+
+fn rate_of(entries: &[String], label: &str) -> Option<f64> {
+    let line = entries
+        .iter()
+        .find(|l| l.trim_start().starts_with(&format!("\"{label}\"")))?;
+    let key = "\"pclocks_per_sec\": ";
+    let at = line.find(key)? + key.len();
+    line[at..]
+        .trim_end_matches(['}', ',', ' '])
+        .parse::<f64>()
+        .ok()
+}

@@ -12,7 +12,7 @@
 
 use pfsim::{RecordMisses, SystemConfig};
 use pfsim_analysis::{characterize, Characterization, TextTable};
-use pfsim_bench::{miss_events, run_logged, RECORDED_CPU};
+use pfsim_bench::{miss_events, par_map, run_logged, RECORDED_CPU};
 use pfsim_workloads::App;
 
 fn trend(base: f64, large: f64, tolerance: f64) -> &'static str {
@@ -51,9 +51,15 @@ fn main() {
         "Dominant stride (blocks)".into(),
     ]);
 
-    for app in apps {
-        let base = run(app, false);
-        let large = run(app, true);
+    // 5 apps x 2 sizes = 10 independent runs, fanned across cores.
+    let jobs: Vec<(App, bool)> = apps
+        .into_iter()
+        .flat_map(|app| [(app, false), (app, true)])
+        .collect();
+    let results = par_map(jobs, |(app, large)| run(app, large));
+
+    for (app, pair) in apps.into_iter().zip(results.chunks(2)) {
+        let [base, large] = pair else { unreachable!() };
         table.row(vec![
             app.name().into(),
             format!(

@@ -8,6 +8,10 @@ use pfsim::{MissRecord, RecordMisses, SimResult, System, SystemConfig};
 use pfsim_analysis::{MissEvent, RunMetrics};
 use pfsim_workloads::{App, TraceWorkload};
 
+mod parallel;
+
+pub use parallel::par_map;
+
 /// Problem-size selection for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Size {

@@ -118,7 +118,7 @@ impl<T> FifoBuffer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pfsim_mem::SplitMix64;
 
     #[test]
     fn fifo_order_is_preserved() {
@@ -167,26 +167,34 @@ mod tests {
         FifoBuffer::<()>::new(0);
     }
 
-    proptest! {
-        /// The buffer behaves exactly like a bounded VecDeque.
-        #[test]
-        fn matches_unbounded_model(ops in proptest::collection::vec(proptest::bool::ANY, 0..200)) {
+    /// The buffer behaves exactly like a bounded VecDeque (seeded cases).
+    #[test]
+    fn matches_unbounded_model() {
+        let mut rng = SplitMix64::seed_from_u64(0xf1f0);
+        for _case in 0..64 {
+            let ops = rng.random_range(0usize..200);
             let mut b = FifoBuffer::new(3);
             let mut model: Vec<u32> = Vec::new();
             let mut next = 0u32;
-            for push in ops {
-                if push {
+            for _ in 0..ops {
+                if rng.random_bool() {
                     let ok = b.push(next).is_ok();
-                    prop_assert_eq!(ok, model.len() < 3);
-                    if ok { model.push(next); }
+                    assert_eq!(ok, model.len() < 3);
+                    if ok {
+                        model.push(next);
+                    }
                     next += 1;
                 } else {
                     let popped = b.pop();
-                    let expected = if model.is_empty() { None } else { Some(model.remove(0)) };
-                    prop_assert_eq!(popped, expected);
+                    let expected = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    assert_eq!(popped, expected);
                 }
-                prop_assert_eq!(b.len(), model.len());
-                prop_assert_eq!(b.is_empty(), model.is_empty());
+                assert_eq!(b.len(), model.len());
+                assert_eq!(b.is_empty(), model.is_empty());
             }
         }
     }

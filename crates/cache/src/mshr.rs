@@ -1,6 +1,5 @@
 //! The miss-status holding registers that make the SLC lockup-free.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -42,9 +41,16 @@ impl Error for MshrFull {}
 /// assert_eq!(slwb.remove(b), Some("read miss")); // reply arrived
 /// # Ok::<(), pfsim_cache::MshrFull>(())
 /// ```
+///
+/// # Implementation
+///
+/// The file is hardware-sized (16 entries in the paper), so it is stored as
+/// a flat vector searched linearly — a scan of at most `capacity` tag
+/// compares, which beats hashing at these sizes and matches the
+/// fully-associative CAM lookup the hardware performs.
 #[derive(Debug, Clone)]
 pub struct MshrFile<E> {
-    entries: HashMap<BlockAddr, E>,
+    entries: Vec<(BlockAddr, E)>,
     capacity: usize,
     high_water: usize,
 }
@@ -58,10 +64,15 @@ impl<E> MshrFile<E> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "an MSHR file needs at least one entry");
         MshrFile {
-            entries: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
             capacity,
             high_water: 0,
         }
+    }
+
+    #[inline]
+    fn position(&self, block: BlockAddr) -> Option<usize> {
+        self.entries.iter().position(|(b, _)| *b == block)
     }
 
     /// Allocates an entry for `block`.
@@ -77,36 +88,36 @@ impl<E> MshrFile<E> {
     /// [`get_mut`](Self::get_mut) first).
     pub fn alloc(&mut self, block: BlockAddr, entry: E) -> Result<&mut E, MshrFull> {
         assert!(
-            !self.entries.contains_key(&block),
+            self.position(block).is_none(),
             "MSHR already allocated for {block}: merge instead"
         );
         if self.entries.len() == self.capacity {
             return Err(MshrFull);
         }
-        self.entries.insert(block, entry);
+        self.entries.push((block, entry));
         self.high_water = self.high_water.max(self.entries.len());
-        Ok(self.entries.get_mut(&block).expect("just inserted"))
+        Ok(&mut self.entries.last_mut().expect("just pushed").1)
     }
 
     /// Whether a transaction for `block` is outstanding.
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.contains_key(&block)
+        self.position(block).is_some()
     }
 
     /// The outstanding transaction for `block`, if any.
     pub fn get(&self, block: BlockAddr) -> Option<&E> {
-        self.entries.get(&block)
+        self.position(block).map(|i| &self.entries[i].1)
     }
 
     /// Mutable access to the outstanding transaction for `block` — the merge
     /// point for secondary misses.
     pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut E> {
-        self.entries.get_mut(&block)
+        self.position(block).map(|i| &mut self.entries[i].1)
     }
 
     /// Completes the transaction for `block`, freeing the entry.
     pub fn remove(&mut self, block: BlockAddr) -> Option<E> {
-        self.entries.remove(&block)
+        self.position(block).map(|i| self.entries.swap_remove(i).1)
     }
 
     /// Number of outstanding transactions.

@@ -1,8 +1,8 @@
 //! The full-map directory automaton.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use pfsim_mem::{BlockAddr, NodeId};
+use pfsim_mem::{BlockAddr, FxHashMap, NodeId};
 
 use crate::SharerSet;
 
@@ -106,6 +106,84 @@ pub enum DirAction {
     },
 }
 
+/// A reusable, mostly-inline buffer of [`DirAction`]s.
+///
+/// The directory sits on the simulator's hot path: every coherence message
+/// produces a handful of actions, and allocating a fresh `Vec` per message
+/// dominated the protocol cost. Callers own one `ActionBuf`, pass it to
+/// [`Directory::request`] / [`Directory::fetch_done`] /
+/// [`Directory::inval_ack`], and [`clear`](Self::clear) it between uses —
+/// after warm-up no protocol operation allocates.
+///
+/// The first [`ActionBuf::INLINE`] actions live inline; a transaction only
+/// spills to the heap-backed tail when a completed fetch drains a long
+/// pending queue (rare, and the spill capacity is then reused too).
+#[derive(Debug, Clone)]
+pub struct ActionBuf {
+    inline: [DirAction; Self::INLINE],
+    len: usize,
+    spill: Vec<DirAction>,
+}
+
+impl ActionBuf {
+    /// Actions stored without touching the heap.
+    pub const INLINE: usize = 8;
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        ActionBuf {
+            // Placeholder values; only `inline[..len.min(INLINE)]` is live.
+            inline: [DirAction::ReadMemory; Self::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Empties the buffer, retaining any spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: DirAction) {
+        if self.len < Self::INLINE {
+            self.inline[self.len] = action;
+        } else {
+            self.spill.push(action);
+        }
+        self.len += 1;
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the actions in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &DirAction> + '_ {
+        self.inline[..self.len.min(Self::INLINE)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+
+    /// Copies the actions into a `Vec` (test and debugging convenience).
+    pub fn to_vec(&self) -> Vec<DirAction> {
+        self.iter().copied().collect()
+    }
+}
+
+impl Default for ActionBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Stable directory state of one block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirState {
@@ -175,7 +253,7 @@ pub struct DirStats {
 /// example.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    entries: HashMap<BlockAddr, Entry>,
+    entries: FxHashMap<BlockAddr, Entry>,
     nodes: u16,
     stats: DirStats,
 }
@@ -190,7 +268,7 @@ impl Directory {
     pub fn new(nodes: u16) -> Self {
         assert!((1..=64).contains(&nodes), "nodes must be in 1..=64");
         Directory {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             nodes,
             stats: DirStats::default(),
         }
@@ -236,27 +314,27 @@ impl Directory {
 
     /// Presents `request` to the home node.
     ///
-    /// Returns the actions to execute now. An empty list means the request
-    /// was queued behind an in-flight transaction for the same block (or,
-    /// for a racing writeback, absorbed into it).
-    pub fn request(&mut self, block: BlockAddr, request: DirRequest) -> Vec<DirAction> {
-        let mut actions = Vec::new();
+    /// Appends the actions to execute now onto `actions` (which the caller
+    /// owns and reuses across calls; see [`ActionBuf`]). Appending nothing
+    /// means the request was queued behind an in-flight transaction for the
+    /// same block (or, for a racing writeback, absorbed into it).
+    pub fn request(&mut self, block: BlockAddr, request: DirRequest, actions: &mut ActionBuf) {
         let entry = self.entries.entry(block).or_insert_with(Entry::new);
 
         if entry.txn.is_some() {
             if let DirRequest::Writeback { from } = request {
-                Self::writeback_during_txn(&mut self.stats, entry, from, &mut actions);
+                Self::writeback_during_txn(&mut self.stats, entry, from, actions);
             } else {
                 entry.pending.push_back(request);
             }
-            return actions;
+            return;
         }
 
-        Self::start(&mut self.stats, entry, request, &mut actions);
-        actions
+        Self::start(&mut self.stats, entry, request, actions);
     }
 
-    /// Delivers the owner's reply to a `Fetch`/`FetchInval` action.
+    /// Delivers the owner's reply to a `Fetch`/`FetchInval` action,
+    /// appending the resulting actions onto `actions`.
     ///
     /// `had_copy` is `false` when the owner no longer held the block (its
     /// writeback is in flight); the transaction then completes once that
@@ -265,8 +343,7 @@ impl Directory {
     /// # Panics
     ///
     /// Panics if no fetch is outstanding for `block`.
-    pub fn fetch_done(&mut self, block: BlockAddr, had_copy: bool) -> Vec<DirAction> {
-        let mut actions = Vec::new();
+    pub fn fetch_done(&mut self, block: BlockAddr, had_copy: bool, actions: &mut ActionBuf) {
         let entry = self
             .entries
             .get_mut(&block)
@@ -310,26 +387,25 @@ impl Directory {
             }
             self.stats.owner_supplied += 1;
             entry.txn = None;
-            Self::drain_pending(&mut self.stats, entry, &mut actions);
+            Self::drain_pending(&mut self.stats, entry, actions);
         } else if txn.wb_arrived {
             // The racing writeback already refreshed memory.
             let request = txn.request;
             entry.txn = None;
-            Self::complete_from_memory(&mut self.stats, entry, request, &mut actions);
-            Self::drain_pending(&mut self.stats, entry, &mut actions);
+            Self::complete_from_memory(&mut self.stats, entry, request, actions);
+            Self::drain_pending(&mut self.stats, entry, actions);
         } else {
             txn.waiting = Waiting::WritebackData;
         }
-        actions
     }
 
-    /// Delivers one invalidation acknowledgement for `block`.
+    /// Delivers one invalidation acknowledgement for `block`, appending the
+    /// resulting actions onto `actions`.
     ///
     /// # Panics
     ///
     /// Panics if no invalidation round is outstanding for `block`.
-    pub fn inval_ack(&mut self, block: BlockAddr) -> Vec<DirAction> {
-        let mut actions = Vec::new();
+    pub fn inval_ack(&mut self, block: BlockAddr, actions: &mut ActionBuf) {
         let entry = self
             .entries
             .get_mut(&block)
@@ -340,7 +416,7 @@ impl Directory {
         };
         *remaining -= 1;
         if *remaining > 0 {
-            return actions;
+            return;
         }
 
         let request = txn.request;
@@ -364,8 +440,7 @@ impl Directory {
                 unreachable!("only ownership requests wait for acks")
             }
         }
-        Self::drain_pending(&mut self.stats, entry, &mut actions);
-        actions
+        Self::drain_pending(&mut self.stats, entry, actions);
     }
 
     /// Starts `request` on an idle entry, appending actions.
@@ -373,7 +448,7 @@ impl Directory {
         stats: &mut DirStats,
         entry: &mut Entry,
         request: DirRequest,
-        actions: &mut Vec<DirAction>,
+        actions: &mut ActionBuf,
     ) {
         // An upgrade whose requester no longer appears in the presence
         // vector lost its copy to a racing invalidation or replacement: it
@@ -480,7 +555,7 @@ impl Directory {
         stats: &mut DirStats,
         entry: &mut Entry,
         from: NodeId,
-        actions: &mut Vec<DirAction>,
+        actions: &mut ActionBuf,
     ) {
         stats.writebacks += 1;
         let txn = entry.txn.as_mut().expect("busy entry has a txn");
@@ -515,7 +590,7 @@ impl Directory {
         stats: &mut DirStats,
         entry: &mut Entry,
         request: DirRequest,
-        actions: &mut Vec<DirAction>,
+        actions: &mut ActionBuf,
     ) {
         stats.memory_supplied += 1;
         match request {
@@ -551,7 +626,7 @@ impl Directory {
 
     /// After a transaction completes, starts as many queued requests as can
     /// run back to back.
-    fn drain_pending(stats: &mut DirStats, entry: &mut Entry, actions: &mut Vec<DirAction>) {
+    fn drain_pending(stats: &mut DirStats, entry: &mut Entry, actions: &mut ActionBuf) {
         while entry.txn.is_none() {
             let Some(next) = entry.pending.pop_front() else {
                 break;

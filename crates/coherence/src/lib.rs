@@ -20,15 +20,16 @@
 //! # Examples
 //!
 //! ```
-//! use pfsim_coherence::{DirAction, DirRequest, Directory};
+//! use pfsim_coherence::{ActionBuf, DirAction, DirRequest, Directory};
 //! use pfsim_mem::{BlockAddr, NodeId};
 //!
 //! let mut dir = Directory::new(16);
+//! let mut actions = ActionBuf::new(); // reused across requests
 //! let b = BlockAddr::new(7);
 //! // Node 3 read-misses a clean block: memory responds directly.
-//! let actions = dir.request(b, DirRequest::read_shared(NodeId::new(3)));
+//! dir.request(b, DirRequest::read_shared(NodeId::new(3)), &mut actions);
 //! assert_eq!(
-//!     actions,
+//!     actions.to_vec(),
 //!     [
 //!         DirAction::ReadMemory,
 //!         DirAction::SendData { to: NodeId::new(3), exclusive: false, prefetch: false },
@@ -41,5 +42,5 @@
 mod directory;
 mod sharers;
 
-pub use directory::{DirAction, DirRequest, DirState, DirStats, Directory};
+pub use directory::{ActionBuf, DirAction, DirRequest, DirState, DirStats, Directory};
 pub use sharers::SharerSet;

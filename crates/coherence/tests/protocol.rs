@@ -1,9 +1,8 @@
 //! Protocol-level tests of the full-map directory automaton: every stable
 //! transition, the transient races, and a randomized model check.
 
-use pfsim_coherence::{DirAction, DirRequest, DirState, Directory, SharerSet};
-use pfsim_mem::{BlockAddr, NodeId};
-use proptest::prelude::*;
+use pfsim_coherence::{ActionBuf, DirAction, DirRequest, DirState, Directory, SharerSet};
+use pfsim_mem::{BlockAddr, NodeId, SplitMix64};
 
 const B: BlockAddr = BlockAddr::new(100);
 
@@ -15,10 +14,30 @@ fn sharers(nodes: &[u16]) -> SharerSet {
     nodes.iter().map(|&i| n(i)).collect()
 }
 
+// Vec-returning wrappers over the buffer-appending directory API, so the
+// assertions below can compare whole action lists directly.
+fn req(dir: &mut Directory, block: BlockAddr, request: DirRequest) -> Vec<DirAction> {
+    let mut buf = ActionBuf::new();
+    dir.request(block, request, &mut buf);
+    buf.to_vec()
+}
+
+fn fetch_done(dir: &mut Directory, block: BlockAddr, had_copy: bool) -> Vec<DirAction> {
+    let mut buf = ActionBuf::new();
+    dir.fetch_done(block, had_copy, &mut buf);
+    buf.to_vec()
+}
+
+fn inval_ack(dir: &mut Directory, block: BlockAddr) -> Vec<DirAction> {
+    let mut buf = ActionBuf::new();
+    dir.inval_ack(block, &mut buf);
+    buf.to_vec()
+}
+
 #[test]
 fn cold_read_is_served_by_memory() {
     let mut dir = Directory::new(16);
-    let actions = dir.request(B, DirRequest::read_shared(n(3)));
+    let actions = req(&mut dir, B, DirRequest::read_shared(n(3)));
     assert_eq!(
         actions,
         [
@@ -37,7 +56,7 @@ fn cold_read_is_served_by_memory() {
 #[test]
 fn prefetch_flag_propagates_to_reply() {
     let mut dir = Directory::new(16);
-    let actions = dir.request(B, DirRequest::prefetch(n(5)));
+    let actions = req(&mut dir, B, DirRequest::prefetch(n(5)));
     assert_eq!(
         actions[1],
         DirAction::SendData {
@@ -52,7 +71,7 @@ fn prefetch_flag_propagates_to_reply() {
 fn additional_readers_accumulate_in_presence_vector() {
     let mut dir = Directory::new(16);
     for i in [0u16, 4, 9, 15] {
-        dir.request(B, DirRequest::read_shared(n(i)));
+        req(&mut dir, B, DirRequest::read_shared(n(i)));
     }
     assert_eq!(dir.state(B), DirState::Shared(sharers(&[0, 4, 9, 15])));
 }
@@ -60,7 +79,7 @@ fn additional_readers_accumulate_in_presence_vector() {
 #[test]
 fn cold_write_goes_straight_to_modified() {
     let mut dir = Directory::new(16);
-    let actions = dir.request(B, DirRequest::ReadExclusive { from: n(2) });
+    let actions = req(&mut dir, B, DirRequest::ReadExclusive { from: n(2) });
     assert_eq!(
         actions,
         [
@@ -79,9 +98,9 @@ fn cold_write_goes_straight_to_modified() {
 fn write_to_shared_invalidates_all_other_sharers() {
     let mut dir = Directory::new(16);
     for i in [1u16, 2, 3] {
-        dir.request(B, DirRequest::read_shared(n(i)));
+        req(&mut dir, B, DirRequest::read_shared(n(i)));
     }
-    let actions = dir.request(B, DirRequest::ReadExclusive { from: n(7) });
+    let actions = req(&mut dir, B, DirRequest::ReadExclusive { from: n(7) });
     assert_eq!(
         actions,
         [DirAction::Invalidate {
@@ -91,10 +110,10 @@ fn write_to_shared_invalidates_all_other_sharers() {
     assert!(dir.is_busy(B));
 
     // Two of three acks: still busy, no actions.
-    assert!(dir.inval_ack(B).is_empty());
-    assert!(dir.inval_ack(B).is_empty());
+    assert!(inval_ack(&mut dir, B).is_empty());
+    assert!(inval_ack(&mut dir, B).is_empty());
     // Final ack releases the data.
-    let actions = dir.inval_ack(B);
+    let actions = inval_ack(&mut dir, B);
     assert_eq!(
         actions,
         [
@@ -113,8 +132,8 @@ fn write_to_shared_invalidates_all_other_sharers() {
 #[test]
 fn upgrade_by_sole_sharer_needs_no_data() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::read_shared(n(4)));
-    let actions = dir.request(B, DirRequest::Upgrade { from: n(4) });
+    req(&mut dir, B, DirRequest::read_shared(n(4)));
+    let actions = req(&mut dir, B, DirRequest::Upgrade { from: n(4) });
     assert_eq!(actions, [DirAction::SendAck { to: n(4) }]);
     assert_eq!(dir.state(B), DirState::Modified(n(4)));
 }
@@ -122,16 +141,16 @@ fn upgrade_by_sole_sharer_needs_no_data() {
 #[test]
 fn upgrade_with_other_sharers_waits_for_acks() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::read_shared(n(4)));
-    dir.request(B, DirRequest::read_shared(n(5)));
-    let actions = dir.request(B, DirRequest::Upgrade { from: n(4) });
+    req(&mut dir, B, DirRequest::read_shared(n(4)));
+    req(&mut dir, B, DirRequest::read_shared(n(5)));
+    let actions = req(&mut dir, B, DirRequest::Upgrade { from: n(4) });
     assert_eq!(
         actions,
         [DirAction::Invalidate {
             targets: sharers(&[5])
         }]
     );
-    let actions = dir.inval_ack(B);
+    let actions = inval_ack(&mut dir, B);
     assert_eq!(actions, [DirAction::SendAck { to: n(4) }]);
     assert_eq!(dir.state(B), DirState::Modified(n(4)));
 }
@@ -141,21 +160,21 @@ fn upgrade_after_losing_copy_is_served_with_data() {
     let mut dir = Directory::new(16);
     // Node 4 reads, node 9 writes (invalidating 4), then node 4's stale
     // upgrade arrives: it must receive data, not a bare ack.
-    dir.request(B, DirRequest::read_shared(n(4)));
-    let a = dir.request(B, DirRequest::ReadExclusive { from: n(9) });
+    req(&mut dir, B, DirRequest::read_shared(n(4)));
+    let a = req(&mut dir, B, DirRequest::ReadExclusive { from: n(9) });
     assert_eq!(
         a,
         [DirAction::Invalidate {
             targets: sharers(&[4])
         }]
     );
-    dir.inval_ack(B);
+    inval_ack(&mut dir, B);
     assert_eq!(dir.state(B), DirState::Modified(n(9)));
 
-    let actions = dir.request(B, DirRequest::Upgrade { from: n(4) });
+    let actions = req(&mut dir, B, DirRequest::Upgrade { from: n(4) });
     // Modified at node 9: fetch-invalidate, then exclusive data to node 4.
     assert_eq!(actions, [DirAction::FetchInval { owner: n(9) }]);
-    let actions = dir.fetch_done(B, true);
+    let actions = fetch_done(&mut dir, B, true);
     assert_eq!(
         actions,
         [DirAction::SendData {
@@ -170,12 +189,12 @@ fn upgrade_after_losing_copy_is_served_with_data() {
 #[test]
 fn read_of_dirty_block_fetches_from_owner() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
-    let actions = dir.request(B, DirRequest::read_shared(n(6)));
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
+    let actions = req(&mut dir, B, DirRequest::read_shared(n(6)));
     assert_eq!(actions, [DirAction::Fetch { owner: n(1) }]);
     assert!(dir.is_busy(B));
 
-    let actions = dir.fetch_done(B, true);
+    let actions = fetch_done(&mut dir, B, true);
     assert_eq!(
         actions,
         [
@@ -194,10 +213,10 @@ fn read_of_dirty_block_fetches_from_owner() {
 #[test]
 fn write_to_dirty_block_transfers_ownership() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
-    let actions = dir.request(B, DirRequest::ReadExclusive { from: n(2) });
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
+    let actions = req(&mut dir, B, DirRequest::ReadExclusive { from: n(2) });
     assert_eq!(actions, [DirAction::FetchInval { owner: n(1) }]);
-    let actions = dir.fetch_done(B, true);
+    let actions = fetch_done(&mut dir, B, true);
     assert_eq!(
         actions,
         [DirAction::SendData {
@@ -212,8 +231,8 @@ fn write_to_dirty_block_transfers_ownership() {
 #[test]
 fn writeback_returns_block_to_memory() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
-    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
+    let actions = req(&mut dir, B, DirRequest::Writeback { from: n(1) });
     assert_eq!(actions, [DirAction::WriteMemory]);
     assert_eq!(dir.state(B), DirState::Uncached);
     assert_eq!(dir.stats().writebacks, 1);
@@ -222,18 +241,16 @@ fn writeback_returns_block_to_memory() {
 #[test]
 fn requests_queue_behind_inflight_transaction() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
     // A read triggers a fetch...
-    dir.request(B, DirRequest::read_shared(n(2)));
+    req(&mut dir, B, DirRequest::read_shared(n(2)));
     // ...and two more requests arrive while it is outstanding.
-    assert!(dir.request(B, DirRequest::read_shared(n(3))).is_empty());
-    assert!(dir
-        .request(B, DirRequest::ReadExclusive { from: n(4) })
-        .is_empty());
+    assert!(req(&mut dir, B, DirRequest::read_shared(n(3))).is_empty());
+    assert!(req(&mut dir, B, DirRequest::ReadExclusive { from: n(4) }).is_empty());
 
     // Completing the fetch serves node 2, then node 3 (from memory,
     // back-to-back), then starts node 4's invalidation round.
-    let actions = dir.fetch_done(B, true);
+    let actions = fetch_done(&mut dir, B, true);
     let sends: Vec<_> = actions
         .iter()
         .filter_map(|a| match a {
@@ -247,7 +264,7 @@ fn requests_queue_behind_inflight_transaction() {
         .any(|a| matches!(a, DirAction::Invalidate { targets } if targets.len() == 3)));
     assert!(dir.is_busy(B));
     for _ in 0..3 {
-        dir.inval_ack(B);
+        inval_ack(&mut dir, B);
     }
     assert_eq!(dir.state(B), DirState::Modified(n(4)));
 }
@@ -255,17 +272,17 @@ fn requests_queue_behind_inflight_transaction() {
 #[test]
 fn writeback_racing_with_fetch_completes_from_memory() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
     // Node 2's read starts a fetch to node 1...
     assert_eq!(
-        dir.request(B, DirRequest::read_shared(n(2))),
+        req(&mut dir, B, DirRequest::read_shared(n(2))),
         [DirAction::Fetch { owner: n(1) }]
     );
     // ...but node 1 evicted the block; its writeback arrives first.
-    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    let actions = req(&mut dir, B, DirRequest::Writeback { from: n(1) });
     assert_eq!(actions, [DirAction::WriteMemory]);
     // The fetch then reports no copy; memory is already current.
-    let actions = dir.fetch_done(B, false);
+    let actions = fetch_done(&mut dir, B, false);
     assert_eq!(
         actions,
         [
@@ -283,13 +300,13 @@ fn writeback_racing_with_fetch_completes_from_memory() {
 #[test]
 fn fetch_miss_waits_for_late_writeback() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
-    dir.request(B, DirRequest::read_shared(n(2)));
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
+    req(&mut dir, B, DirRequest::read_shared(n(2)));
     // Fetch reports no copy *before* the writeback arrives.
-    assert!(dir.fetch_done(B, false).is_empty());
+    assert!(fetch_done(&mut dir, B, false).is_empty());
     assert!(dir.is_busy(B));
     // The writeback completes the stalled transaction.
-    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    let actions = req(&mut dir, B, DirRequest::Writeback { from: n(1) });
     assert_eq!(
         actions,
         [
@@ -308,12 +325,12 @@ fn fetch_miss_waits_for_late_writeback() {
 #[test]
 fn owner_rereading_own_written_back_block_waits_for_writeback() {
     let mut dir = Directory::new(16);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
     // Node 1 evicts the dirty block and immediately re-reads it, and the
     // read overtakes the writeback.
-    assert!(dir.request(B, DirRequest::read_shared(n(1))).is_empty());
+    assert!(req(&mut dir, B, DirRequest::read_shared(n(1))).is_empty());
     assert!(dir.is_busy(B));
-    let actions = dir.request(B, DirRequest::Writeback { from: n(1) });
+    let actions = req(&mut dir, B, DirRequest::Writeback { from: n(1) });
     assert_eq!(
         actions,
         [
@@ -333,9 +350,9 @@ fn owner_rereading_own_written_back_block_waits_for_writeback() {
 fn distinct_blocks_are_independent() {
     let mut dir = Directory::new(16);
     let b2 = BlockAddr::new(200);
-    dir.request(B, DirRequest::ReadExclusive { from: n(1) });
-    dir.request(B, DirRequest::read_shared(n(2))); // B is now busy
-    let actions = dir.request(b2, DirRequest::read_shared(n(3)));
+    req(&mut dir, B, DirRequest::ReadExclusive { from: n(1) });
+    req(&mut dir, B, DirRequest::read_shared(n(2))); // B is now busy
+    let actions = req(&mut dir, b2, DirRequest::read_shared(n(3)));
     assert_eq!(actions.len(), 2, "block b2 must not queue behind B");
     assert_eq!(dir.state(b2), DirState::Shared(sharers(&[3])));
 }
@@ -349,55 +366,59 @@ enum ModelLine {
     Modified,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Random single-block request streams (with every transient completed
-    /// immediately) keep the directory consistent with a node-side model:
-    /// at most one Modified copy, never alongside Shared copies, and the
-    /// presence vector exactly matches the nodes holding copies.
-    #[test]
-    fn directory_agrees_with_node_model(ops in proptest::collection::vec((0u16..8, 0u8..3), 1..300)) {
-        let nodes = 8usize;
-        let mut dir = Directory::new(nodes as u16);
-        let mut model = vec![ModelLine::Invalid; nodes];
-
-        // Applies one batch of directory actions to the node model,
-        // answering fetches/invals immediately (zero-latency network).
-        fn apply(
-            dir: &mut Directory,
-            model: &mut [ModelLine],
-            actions: Vec<DirAction>,
-        ) {
-            let mut queue: std::collections::VecDeque<DirAction> = actions.into();
-            while let Some(action) = queue.pop_front() {
-                match action {
-                    DirAction::ReadMemory | DirAction::WriteMemory => {}
-                    DirAction::SendData { to, exclusive, .. } => {
-                        model[to.index()] = if exclusive { ModelLine::Modified } else { ModelLine::Shared };
-                    }
-                    DirAction::SendAck { to } => {
-                        model[to.index()] = ModelLine::Modified;
-                    }
-                    DirAction::Fetch { owner } => {
-                        assert_eq!(model[owner.index()], ModelLine::Modified);
-                        model[owner.index()] = ModelLine::Shared;
-                        queue.extend(dir.fetch_done(B, true));
-                    }
-                    DirAction::FetchInval { owner } => {
-                        assert_eq!(model[owner.index()], ModelLine::Modified);
-                        model[owner.index()] = ModelLine::Invalid;
-                        queue.extend(dir.fetch_done(B, true));
-                    }
-                    DirAction::Invalidate { targets } => {
-                        for t in targets.iter() {
-                            model[t.index()] = ModelLine::Invalid;
-                            queue.extend(dir.inval_ack(B));
-                        }
+/// Random single-block request streams (with every transient completed
+/// immediately) keep the directory consistent with a node-side model:
+/// at most one Modified copy, never alongside Shared copies, and the
+/// presence vector exactly matches the nodes holding copies (512 seeded
+/// cases).
+#[test]
+fn directory_agrees_with_node_model() {
+    // Applies one batch of directory actions to the node model,
+    // answering fetches/invals immediately (zero-latency network).
+    fn apply(dir: &mut Directory, model: &mut [ModelLine], actions: Vec<DirAction>) {
+        let mut queue: std::collections::VecDeque<DirAction> = actions.into();
+        while let Some(action) = queue.pop_front() {
+            match action {
+                DirAction::ReadMemory | DirAction::WriteMemory => {}
+                DirAction::SendData { to, exclusive, .. } => {
+                    model[to.index()] = if exclusive {
+                        ModelLine::Modified
+                    } else {
+                        ModelLine::Shared
+                    };
+                }
+                DirAction::SendAck { to } => {
+                    model[to.index()] = ModelLine::Modified;
+                }
+                DirAction::Fetch { owner } => {
+                    assert_eq!(model[owner.index()], ModelLine::Modified);
+                    model[owner.index()] = ModelLine::Shared;
+                    queue.extend(fetch_done(dir, B, true));
+                }
+                DirAction::FetchInval { owner } => {
+                    assert_eq!(model[owner.index()], ModelLine::Modified);
+                    model[owner.index()] = ModelLine::Invalid;
+                    queue.extend(fetch_done(dir, B, true));
+                }
+                DirAction::Invalidate { targets } => {
+                    for t in targets.iter() {
+                        model[t.index()] = ModelLine::Invalid;
+                        queue.extend(inval_ack(dir, B));
                     }
                 }
             }
         }
+    }
+
+    let mut rng = SplitMix64::seed_from_u64(0xd14a9);
+    for _case in 0..512 {
+        let len = rng.random_range(1usize..300);
+        let ops: Vec<(u16, u8)> = (0..len)
+            .map(|_| (rng.random_range(0u16..8), rng.random_range(0u8..3)))
+            .collect();
+        let nodes = 8usize;
+        let mut dir = Directory::new(nodes as u16);
+        let mut model = vec![ModelLine::Invalid; nodes];
 
         for (node, kind) in ops {
             let from = NodeId::new(node);
@@ -414,23 +435,26 @@ proptest! {
                 }
                 _ => continue,
             };
-            let actions = dir.request(B, request);
+            let actions = req(&mut dir, B, request);
             apply(&mut dir, &mut model, actions);
-            prop_assert!(!dir.is_busy(B), "zero-latency completion expected");
+            assert!(!dir.is_busy(B), "zero-latency completion expected");
 
             // Invariants.
-            let modified: Vec<_> = model.iter().filter(|&&l| l == ModelLine::Modified).collect();
+            let modified: Vec<_> = model
+                .iter()
+                .filter(|&&l| l == ModelLine::Modified)
+                .collect();
             let shared_count = model.iter().filter(|&&l| l == ModelLine::Shared).count();
-            prop_assert!(modified.len() <= 1);
+            assert!(modified.len() <= 1);
             if modified.len() == 1 {
-                prop_assert_eq!(shared_count, 0);
+                assert_eq!(shared_count, 0);
             }
             match dir.state(B) {
                 DirState::Uncached => {
-                    prop_assert!(model.iter().all(|&l| l == ModelLine::Invalid));
+                    assert!(model.iter().all(|&l| l == ModelLine::Invalid));
                 }
                 DirState::Modified(owner) => {
-                    prop_assert_eq!(model[owner.index()], ModelLine::Modified);
+                    assert_eq!(model[owner.index()], ModelLine::Modified);
                 }
                 DirState::Shared(s) => {
                     for (i, &line) in model.iter().enumerate() {
@@ -438,8 +462,11 @@ proptest! {
                         // The directory may conservatively over-record
                         // (silent clean evictions), but our model has no
                         // silent evictions, so the sets must match exactly.
-                        prop_assert_eq!(in_set, line == ModelLine::Shared,
-                            "node {} dir={:?} model={:?}", i, in_set, line);
+                        assert_eq!(
+                            in_set,
+                            line == ModelLine::Shared,
+                            "node {i} dir={in_set:?} model={line:?}"
+                        );
                     }
                 }
             }

@@ -1,12 +1,12 @@
 //! Per-node state: the processor, its caches and buffers, and the
 //! home-side directory, memory and lock table (Figure 1 of the paper).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use pfsim_cache::{FifoBuffer, FirstLevelCache, MshrFile, SecondLevelCache};
 use pfsim_coherence::Directory;
 use pfsim_engine::{Cycle, FifoServer};
-use pfsim_mem::{Addr, BlockAddr, Pc};
+use pfsim_mem::{Addr, BlockAddr, FxHashMap, Pc};
 use pfsim_prefetch::Prefetcher;
 
 use crate::msg::Msg;
@@ -183,7 +183,7 @@ pub(crate) struct Node {
     /// A block with no record was never resident here: any block that
     /// leaves the SLC — invalidation, fetch-invalidate or replacement —
     /// records its removal, so absence of a record means a cold miss.
-    pub removal: HashMap<BlockAddr, MissCause>,
+    pub removal: FxHashMap<BlockAddr, MissCause>,
     pub miss_trace: Vec<MissRecord>,
     pub record: bool,
 }
@@ -211,7 +211,7 @@ impl Node {
             mem: FifoServer::new(),
             locks: LockTable::new(),
             stats: NodeStats::default(),
-            removal: HashMap::new(),
+            removal: FxHashMap::default(),
             miss_trace: Vec::new(),
             record,
         }

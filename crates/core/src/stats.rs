@@ -84,6 +84,11 @@ pub struct NodeStats {
     pub invals_received: u64,
     /// Dirty blocks written back on replacement.
     pub writebacks: u64,
+    /// `SlcWork` events that fired with nothing to do (stale wakeups left
+    /// behind when an earlier event already serviced the queue). A
+    /// scheduling-efficiency diagnostic: each one is a wasted trip through
+    /// the event loop.
+    pub spurious_slc_wakeups: u64,
 }
 
 impl NodeStats {
@@ -148,6 +153,11 @@ impl SimResult {
     /// Total demand read misses across all nodes.
     pub fn read_misses(&self) -> u64 {
         self.total(|n| n.read_misses)
+    }
+
+    /// Total `SlcWork` events that found nothing to do, across all nodes.
+    pub fn spurious_slc_wakeups(&self) -> u64 {
+        self.total(|n| n.spurious_slc_wakeups)
     }
 
     /// Total read stall cycles across all nodes.

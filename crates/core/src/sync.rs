@@ -1,8 +1,8 @@
 //! Home-side synchronization: queue-based locks and barriers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use pfsim_mem::{Addr, NodeId};
+use pfsim_mem::{Addr, FxHashMap, NodeId};
 
 /// The queue-based lock mechanism at memory, as in DASH: the home node of
 /// a lock's address keeps the holder and a FIFO of waiters, and a release
@@ -24,7 +24,7 @@ use pfsim_mem::{Addr, NodeId};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LockTable {
-    locks: HashMap<Addr, LockState>,
+    locks: FxHashMap<Addr, LockState>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -86,7 +86,7 @@ impl LockTable {
 /// exists.
 #[derive(Debug, Clone, Default)]
 pub struct BarrierTable {
-    barriers: HashMap<u32, Vec<NodeId>>,
+    barriers: FxHashMap<u32, Vec<NodeId>>,
 }
 
 impl BarrierTable {

@@ -2,7 +2,7 @@
 //! and the mesh, driven by one deterministic event loop.
 
 use pfsim_cache::{Eviction, LineState};
-use pfsim_coherence::{DirAction, DirRequest, DirStats};
+use pfsim_coherence::{ActionBuf, DirAction, DirRequest, DirStats};
 use pfsim_engine::{Cycle, EventQueue};
 use pfsim_mem::{Addr, BlockAddr, Geometry, NodeId};
 use pfsim_network::Mesh;
@@ -49,6 +49,9 @@ pub struct System<W: Workload> {
     nodes: Vec<Node>,
     barriers: BarrierTable,
     last_time: Cycle,
+    /// Reusable scratch buffer for directory actions: `deliver` borrows it
+    /// per message so the protocol hot path never allocates.
+    dir_actions: ActionBuf,
 }
 
 /// Sends `msg` from `from` to `to`, reserving mesh bandwidth at `at`.
@@ -132,6 +135,7 @@ impl<W: Workload> System<W> {
             nodes,
             barriers: BarrierTable::new(),
             last_time: Cycle::ZERO,
+            dir_actions: ActionBuf::new(),
         }
     }
 
@@ -478,6 +482,8 @@ impl<W: Workload> System<W> {
         // FLWB drain. Inspect the head without consuming it: entries that
         // need resources may have to wait.
         let Some(head) = self.nodes[ni].flwb.peek().copied() else {
+            // A stale wakeup: an earlier event already drained the queue.
+            self.nodes[ni].stats.spurious_slc_wakeups += 1;
             return;
         };
         if head.issued() > now {
@@ -493,9 +499,11 @@ impl<W: Workload> System<W> {
             FlwbEntry::Read { addr, pc, .. } => {
                 let block = self.cfg.geometry.block_of(addr);
                 let node = &mut self.nodes[ni];
-                if node.slc.lookup(block).is_none()
+                // Check the cheap full/empty gate first: the SLC and MSHR
+                // probes only matter when the MSHR is actually full.
+                if node.mshr.is_full()
+                    && node.slc.lookup(block).is_none()
                     && !node.mshr.contains(block)
-                    && node.mshr.is_full()
                 {
                     node.drain_block = DrainBlock::MshrFull;
                     return;
@@ -507,13 +515,17 @@ impl<W: Workload> System<W> {
             FlwbEntry::Write { addr, .. } => {
                 let block = self.cfg.geometry.block_of(addr);
                 let node = &mut self.nodes[ni];
-                let needs_slot = match node.slc.lookup(block) {
-                    Some(line) => line.state == LineState::Shared && !node.mshr.contains(block),
-                    None => !node.mshr.contains(block),
-                };
-                if needs_slot && node.mshr.is_full() {
-                    node.drain_block = DrainBlock::MshrFull;
-                    return;
+                // As above: probe the SLC and MSHR only when the MSHR is
+                // full, which is the only case that can block the drain.
+                if node.mshr.is_full() {
+                    let needs_slot = match node.slc.lookup(block) {
+                        Some(line) => line.state == LineState::Shared && !node.mshr.contains(block),
+                        None => !node.mshr.contains(block),
+                    };
+                    if needs_slot {
+                        node.drain_block = DrainBlock::MshrFull;
+                        return;
+                    }
                 }
                 self.nodes[ni].flwb.pop();
                 let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
@@ -708,22 +720,22 @@ impl<W: Workload> System<W> {
         let block = self.cfg.geometry.block_of(addr);
         let node = &mut self.nodes[ni];
 
-        let req = match node.slc.lookup(block) {
-            Some(line) if line.state == LineState::Modified => {
+        let req = match node.slc.write_access(block) {
+            Some((LineState::Modified, was_tagged)) => {
                 // Write hit on an owned block: absorbed. A write consuming
                 // a prefetched-tagged block counts the prefetch useful (it
-                // turned a write miss into a hit) and clears the tag so it
-                // cannot fire again later.
-                if node.slc.clear_prefetched(block) {
+                // turned a write miss into a hit); `write_access` already
+                // cleared the tag so it cannot fire again later.
+                if was_tagged {
                     node.stats.prefetches_useful += 1;
                 }
                 self.resume_write(n, done);
                 return;
             }
-            Some(_) => {
+            Some((LineState::Shared, was_tagged)) => {
                 // Shared: need ownership. A prefetched tag is consumed by
                 // the write exactly as in the Modified case.
-                if node.slc.clear_prefetched(block) {
+                if was_tagged {
                     node.stats.prefetches_useful += 1;
                 }
                 if node.mshr.contains(block) {
@@ -840,17 +852,20 @@ impl<W: Workload> System<W> {
         match msg {
             Msg::Fetch { block, inval, home } => {
                 let node = &mut self.nodes[ni];
-                let had_copy = node.slc.lookup(block).is_some();
-                if had_copy {
-                    if inval {
-                        node.slc.invalidate(block);
+                // One tag-store probe: the removal/downgrade result doubles
+                // as the presence check.
+                let had_copy = if inval {
+                    if node.slc.invalidate(block).is_some() {
                         node.flc.invalidate(block);
                         node.removal
                             .insert(block, crate::stats::MissCause::Coherence);
+                        true
                     } else {
-                        node.slc.downgrade(block);
+                        false
                     }
-                }
+                } else {
+                    node.slc.downgrade(block)
+                };
                 send(
                     &mut self.mesh,
                     &mut self.queue,
@@ -1109,18 +1124,27 @@ impl<W: Workload> System<W> {
         match msg {
             Msg::CohReq { block, req } => {
                 let t0 = self.home_service(ni, now);
-                let actions = self.nodes[ni].dir.request(block, req);
-                self.exec_dir_actions(n, block, actions, t0);
+                let mut actions = std::mem::take(&mut self.dir_actions);
+                actions.clear();
+                self.nodes[ni].dir.request(block, req, &mut actions);
+                self.exec_dir_actions(n, block, &actions, t0);
+                self.dir_actions = actions;
             }
             Msg::FetchReply { block, had_copy } => {
                 let t0 = self.home_service(ni, now);
-                let actions = self.nodes[ni].dir.fetch_done(block, had_copy);
-                self.exec_dir_actions(n, block, actions, t0);
+                let mut actions = std::mem::take(&mut self.dir_actions);
+                actions.clear();
+                self.nodes[ni].dir.fetch_done(block, had_copy, &mut actions);
+                self.exec_dir_actions(n, block, &actions, t0);
+                self.dir_actions = actions;
             }
             Msg::InvalAck { block } => {
                 let t0 = self.home_service(ni, now);
-                let actions = self.nodes[ni].dir.inval_ack(block);
-                self.exec_dir_actions(n, block, actions, t0);
+                let mut actions = std::mem::take(&mut self.dir_actions);
+                actions.clear();
+                self.nodes[ni].dir.inval_ack(block, &mut actions);
+                self.exec_dir_actions(n, block, &actions, t0);
+                self.dir_actions = actions;
             }
             Msg::Fetch { .. }
             | Msg::Inval { .. }
@@ -1191,10 +1215,10 @@ impl<W: Workload> System<W> {
 
     /// Executes the directory's actions at home node `h`, threading the
     /// memory latency into data replies.
-    fn exec_dir_actions(&mut self, h: u16, block: BlockAddr, actions: Vec<DirAction>, t0: Cycle) {
+    fn exec_dir_actions(&mut self, h: u16, block: BlockAddr, actions: &ActionBuf, t0: Cycle) {
         let hi = h as usize;
         let mut data_ready = t0;
-        for action in actions {
+        for action in actions.iter().copied() {
             match action {
                 DirAction::ReadMemory => {
                     let (start, end) = self.nodes[hi]

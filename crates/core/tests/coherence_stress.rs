@@ -4,10 +4,9 @@
 //! statistics invariants, across prefetching schemes and cache sizes.
 
 use pfsim::{System, SystemConfig};
-use pfsim_mem::{Addr, Pc};
+use pfsim_mem::{Addr, Pc, SplitMix64};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::{Op, TraceWorkload};
-use proptest::prelude::*;
 
 /// Builds a random 16-CPU workload over a small shared region: reads,
 /// writes, computes, locks and barriers, so transactions collide hard.
@@ -87,23 +86,27 @@ fn check(workload: TraceWorkload, scheme: Scheme, finite_slc: bool) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+/// Draws the 16-CPU op matrix a proptest vec-of-vecs strategy used to.
+fn random_ops(rng: &mut SplitMix64) -> Vec<Vec<(u8, u16)>> {
+    (0..16)
+        .map(|_| {
+            let len = rng.random_range(20usize..120);
+            (0..len)
+                .map(|_| (rng.random_range(0u8..6), rng.random_range(0u16..512)))
+                .collect()
+        })
+        .collect()
+}
 
-    /// Random contended traces terminate with coherent caches and
-    /// consistent statistics, for every scheme, with an infinite SLC.
-    #[test]
-    fn stress_infinite_slc(
-        ops in proptest::collection::vec(
-            proptest::collection::vec((0u8..6, 0u16..512), 20..120),
-            16..=16,
-        ),
-        scheme_pick in 0u8..5,
-    ) {
-        let scheme = match scheme_pick {
+/// Random contended traces terminate with coherent caches and
+/// consistent statistics, for every scheme, with an infinite SLC
+/// (24 seeded cases).
+#[test]
+fn stress_infinite_slc() {
+    let mut rng = SplitMix64::seed_from_u64(0x57e51);
+    for _case in 0..24 {
+        let ops = random_ops(&mut rng);
+        let scheme = match rng.random_range(0u8..5) {
             0 => Scheme::None,
             1 => Scheme::Sequential { degree: 2 },
             2 => Scheme::IDetection { degree: 1 },
@@ -112,23 +115,24 @@ proptest! {
         };
         check(random_workload(&ops, 48, 4), scheme, false);
     }
+}
 
-    /// The same property with a tiny finite SLC (replacements and
-    /// writebacks racing against fetches and upgrades).
-    #[test]
-    fn stress_finite_slc(
-        ops in proptest::collection::vec(
-            proptest::collection::vec((0u8..6, 0u16..512), 20..120),
-            16..=16,
-        ),
-        scheme_pick in 0u8..5,
-    ) {
-        let scheme = match scheme_pick {
+/// The same property with a tiny finite SLC (replacements and
+/// writebacks racing against fetches and upgrades), 24 seeded cases.
+#[test]
+fn stress_finite_slc() {
+    let mut rng = SplitMix64::seed_from_u64(0x57e52);
+    for _case in 0..24 {
+        let ops = random_ops(&mut rng);
+        let scheme = match rng.random_range(0u8..5) {
             0 => Scheme::None,
             1 => Scheme::Sequential { degree: 4 },
             2 => Scheme::IDetection { degree: 2 },
             3 => Scheme::DDetection { degree: 1 },
-            _ => Scheme::AdaptiveSequential { initial_degree: 2, max_degree: 8 },
+            _ => Scheme::AdaptiveSequential {
+                initial_degree: 2,
+                max_degree: 8,
+            },
         };
         check(random_workload(&ops, 96, 4), scheme, true);
     }

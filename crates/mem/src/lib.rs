@@ -33,10 +33,14 @@
 
 mod addr;
 mod geometry;
+pub mod hash;
 mod layout;
 mod placement;
+mod rng;
 
 pub use addr::{Addr, BlockAddr, NodeId, PageAddr, Pc};
 pub use geometry::Geometry;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use layout::ArrayLayout;
 pub use placement::PagePlacement;
+pub use rng::{RandValue, SplitMix64};

@@ -40,6 +40,7 @@ impl FifoServer {
     /// `now`, and returns the completion time.
     ///
     /// Accumulates utilization, readable via [`busy_cycles`](Self::busy_cycles).
+    #[inline]
     pub fn serve(&mut self, now: Cycle, service: u64) -> Cycle {
         let start = self.free_at.max(now);
         self.free_at = start + service;
@@ -49,6 +50,7 @@ impl FifoServer {
 
     /// Like [`serve`](Self::serve) but also returns the time service began,
     /// for callers that need the queuing delay separately.
+    #[inline]
     pub fn serve_timed(&mut self, now: Cycle, service: u64) -> (Cycle, Cycle) {
         let start = self.free_at.max(now);
         self.free_at = start + service;
@@ -57,11 +59,13 @@ impl FifoServer {
     }
 
     /// The time at which the resource next becomes idle.
+    #[inline]
     pub fn free_at(&self) -> Cycle {
         self.free_at
     }
 
     /// Whether the resource is idle at time `now`.
+    #[inline]
     pub fn is_idle_at(&self, now: Cycle) -> bool {
         self.free_at <= now
     }

@@ -10,8 +10,7 @@
 //! stride-1 block sequences (Table 2: 80% of misses in sequences, 95%
 //! stride 1, average length ~7).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pfsim_mem::SplitMix64;
 
 use crate::{TraceBuilder, TraceWorkload};
 
@@ -92,7 +91,7 @@ pub fn build(params: CholeskyParams) -> TraceWorkload {
     assert!(columns > 0 && supernode > 0 && cpus > 0);
     assert!(min_height > 0 && min_height <= max_height);
 
-    let mut rng = SmallRng::seed_from_u64(0x0C0D_EC01);
+    let mut rng = SplitMix64::seed_from_u64(0x0C0D_EC01);
     // Column heights: skyline profile, deterministic.
     let heights: Vec<u64> = (0..columns)
         .map(|_| rng.random_range(min_height..=max_height))

@@ -2,8 +2,7 @@
 //! suite and the mechanism benchmarks.
 
 use pfsim_mem::Addr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pfsim_mem::SplitMix64;
 
 use crate::{TraceBuilder, TraceWorkload};
 
@@ -59,7 +58,7 @@ pub fn random_access(cpus: usize, region_blocks: u64, accesses: u64) -> TraceWor
         .map(|_| b.alloc("region", region_blocks, 32))
         .collect();
     let pcs: Vec<_> = (0..cpus).map(|_| b.pc_site()).collect();
-    let mut rng = SmallRng::seed_from_u64(0x9e3779b97f4a7c15);
+    let mut rng = SplitMix64::seed_from_u64(0x9e3779b97f4a7c15);
     for cpu in 0..cpus {
         for _ in 0..accesses {
             let block = rng.random_range(0..region_blocks);

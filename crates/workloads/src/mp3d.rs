@@ -13,8 +13,7 @@
 //! sequential prefetching remove ~28% of MP3D's misses while stride
 //! prefetching manages ~5% (§5.2).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pfsim_mem::SplitMix64;
 
 use crate::{TraceBuilder, TraceWorkload};
 
@@ -115,7 +114,7 @@ pub fn build(params: Mp3dParams) -> TraceWorkload {
     let pc_cnt_w = b.pc_site();
 
     let per_cpu = particles / cpus as u64;
-    let mut rng = SmallRng::seed_from_u64(0x3D_3D_3D);
+    let mut rng = SplitMix64::seed_from_u64(0x3D_3D_3D);
 
     for step in 0..steps {
         for p in 0..cpus {

@@ -10,8 +10,7 @@
 //! expected to help here, and the paper shows both barely move the miss
 //! count while sequential prefetching pays extra traffic.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pfsim_mem::SplitMix64;
 
 use crate::{TraceBuilder, TraceWorkload};
 
@@ -86,7 +85,7 @@ pub fn build(params: PthorParams) -> TraceWorkload {
     let pc_clock = b.pc_site();
     let pc_act_w = b.pc_site();
 
-    let mut rng = SmallRng::seed_from_u64(0x7404);
+    let mut rng = SplitMix64::seed_from_u64(0x7404);
     // The randomized netlist topology (deterministic).
     let successors: Vec<u64> = (0..elements * fanout)
         .map(|_| rng.random_range(0..elements))

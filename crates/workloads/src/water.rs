@@ -14,8 +14,7 @@
 //! molecules inside its shell, and the runs are medium length (the paper
 //! measures an average sequence length of 8.0).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pfsim_mem::SplitMix64;
 
 use crate::{TraceBuilder, TraceWorkload};
 
@@ -135,7 +134,7 @@ pub fn build(params: WaterParams) -> TraceWorkload {
         (lo, hi)
     };
 
-    let mut rng = SmallRng::seed_from_u64(0x57A7E5);
+    let mut rng = SplitMix64::seed_from_u64(0x57A7E5);
 
     for _step in 0..steps {
         // Phase 1 — intra-molecular: predict positions of own molecules.

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, release build, test suite,
+# and the performance smoke test. Run from anywhere inside the repo.
+#
+# Usage: scripts/ci.sh [--no-perf]
+#
+#   --no-perf   skip the perfsmoke throughput measurement (the functional
+#               gates still run; useful on loaded machines where wall-clock
+#               numbers are meaningless)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_perf=1
+if [[ "${1:-}" == "--no-perf" ]]; then
+    run_perf=0
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+if [[ "$run_perf" == 1 ]]; then
+    echo "==> perfsmoke"
+    ./target/release/perfsmoke --label ci
+fi
+
+echo "==> CI gate passed"

@@ -1,5 +1,6 @@
 //! The §5.1 stride-sequence classifier.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 use pfsim_mem::{BlockAddr, Pc};
@@ -125,14 +126,25 @@ impl Characterization {
 /// run of equidistant block numbers of length ≥ 3 is a stride sequence.
 /// Absolute stride values are recorded (a descending sweep is the same
 /// stride as an ascending one, as in the paper's Table 2).
-pub fn characterize(misses: &[MissEvent]) -> Characterization {
+///
+/// Accepts any stream of (borrowed or owned) [`MissEvent`]s, so callers
+/// can feed it a decode iterator over a packed trace's miss records
+/// without materializing a slice first.
+pub fn characterize<I>(misses: I) -> Characterization
+where
+    I: IntoIterator,
+    I::Item: Borrow<MissEvent>,
+{
     let mut per_pc: HashMap<Pc, Vec<BlockAddr>> = HashMap::new();
+    let mut total_misses = 0u64;
     for m in misses {
+        let m = m.borrow();
+        total_misses += 1;
         per_pc.entry(m.pc).or_default().push(m.block);
     }
 
     let mut ch = Characterization {
-        total_misses: misses.len() as u64,
+        total_misses,
         ..Default::default()
     };
 
@@ -200,14 +212,14 @@ mod tests {
 
     #[test]
     fn two_misses_are_not_a_sequence() {
-        let ch = characterize(&[ev(1, 10), ev(1, 11)]);
+        let ch = characterize([ev(1, 10), ev(1, 11)]);
         assert_eq!(ch.misses_in_sequences, 0);
         assert_eq!(ch.stride_fraction(), 0.0);
     }
 
     #[test]
     fn three_equidistant_misses_are_the_minimum() {
-        let ch = characterize(&[ev(1, 10), ev(1, 11), ev(1, 12)]);
+        let ch = characterize([ev(1, 10), ev(1, 11), ev(1, 12)]);
         assert_eq!(ch.misses_in_sequences, 3);
         assert_eq!(ch.sequences, 1);
     }
@@ -280,7 +292,7 @@ mod tests {
 
     #[test]
     fn empty_stream() {
-        let ch = characterize(&[]);
+        let ch = characterize([] as [MissEvent; 0]);
         assert_eq!(ch.total_misses, 0);
         assert_eq!(ch.stride_fraction(), 0.0);
         assert_eq!(ch.dominant_strides_label(), "-");

@@ -10,7 +10,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_bench::{cursor, metrics_of, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -32,7 +32,7 @@ fn main() {
         let base = metrics_of(&run_logged(
             &format!("{app} baseline"),
             SystemConfig::paper_baseline(),
-            size.build(app),
+            cursor(app, size),
         ));
         let mut row = vec![app.name().to_string()];
         for scheme in [
@@ -45,7 +45,7 @@ fn main() {
             let run = metrics_of(&run_logged(
                 &format!("{app} {scheme}"),
                 SystemConfig::paper_baseline().with_scheme(scheme),
-                size.build(app),
+                cursor(app, size),
             ));
             let c = compare(&base, &run);
             row.push(format!("{:.2}", c.relative_misses));
@@ -59,7 +59,7 @@ fn main() {
                 degree: 1,
                 max_depth: 8,
             }),
-            size.build(app),
+            cursor(app, size),
         ));
         let c = compare(&base, &dda);
         row.push(format!("{:.2}", c.relative_misses));

@@ -11,7 +11,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_bench::{cursor, metrics_of, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -37,7 +37,7 @@ fn main() {
             let base = metrics_of(&run_logged(
                 &format!("{app} {bs}B baseline"),
                 cfg(Scheme::None),
-                size.build(app),
+                cursor(app, size),
             ));
             let mut row = vec![format!("{bs}B"), format!("{}", base.read_misses)];
             let mut seq_traffic = String::new();
@@ -48,7 +48,7 @@ fn main() {
                 let run = metrics_of(&run_logged(
                     &format!("{app} {bs}B {scheme}"),
                     cfg(scheme),
-                    size.build(app),
+                    cursor(app, size),
                 ));
                 let c = compare(&base, &run);
                 row.push(format!("{:.2}", c.relative_misses));

@@ -10,7 +10,7 @@
 
 use pfsim::{ConsistencyModel, SystemConfig};
 use pfsim_analysis::TextTable;
-use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_bench::{cursor, metrics_of, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -33,7 +33,7 @@ fn main() {
                 SystemConfig::paper_baseline()
                     .with_consistency(consistency)
                     .with_scheme(scheme),
-                size.build(app),
+                cursor(app, size),
             )
         };
         let rc = metrics_of(&run(ConsistencyModel::Release, Scheme::None));

@@ -10,7 +10,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, par_map, run_logged, Size};
+use pfsim_bench::{cursor, metrics_of, par_map, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -40,7 +40,7 @@ fn main() {
                 SystemConfig::paper_baseline().with_scheme(s),
             ),
         };
-        metrics_of(&run_logged(&label, cfg, size.build(app)))
+        metrics_of(&run_logged(&label, cfg, cursor(app, size)))
     });
 
     let runs_per_app = 1 + 2 * degrees.len();

@@ -14,7 +14,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_bench::{cursor, metrics_of, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -34,7 +34,7 @@ fn main() {
         let base = metrics_of(&run_logged(
             &format!("{app} baseline"),
             SystemConfig::paper_baseline(),
-            size.build(app),
+            cursor(app, size),
         ));
         let mut rows = [
             vec![app.name().to_string()],
@@ -45,7 +45,7 @@ fn main() {
             let run = metrics_of(&run_logged(
                 &format!("{app} {scheme}"),
                 SystemConfig::paper_baseline().with_scheme(scheme),
-                size.build(app),
+                cursor(app, size),
             ));
             let c = compare(&base, &run);
             rows[0].push(format!("{:.2}", c.relative_misses));

@@ -9,7 +9,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, run_logged, Size};
+use pfsim_bench::{cursor, metrics_of, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -42,7 +42,7 @@ fn main() {
             let base_run = run_logged(
                 &format!("{app} {label} baseline"),
                 cfg(Scheme::None),
-                size.build(app),
+                cursor(app, size),
             );
             let base = metrics_of(&base_run);
             let repl = base_run.total(|n| n.replacement_misses);
@@ -61,7 +61,7 @@ fn main() {
                 let run = metrics_of(&run_logged(
                     &format!("{app} {label} {scheme}"),
                     cfg(scheme),
-                    size.build(app),
+                    cursor(app, size),
                 ));
                 row.push(format!("{:.2}", compare(&base, &run).relative_misses));
             }

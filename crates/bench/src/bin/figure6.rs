@@ -14,7 +14,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, par_map, run_logged, Size};
+use pfsim_bench::{cursor, metrics_of, par_map, run_logged, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -48,7 +48,7 @@ fn main() {
                 SystemConfig::paper_baseline().with_scheme(s),
             ),
         };
-        metrics_of(&run_logged(&label, cfg, size.build(app)))
+        metrics_of(&run_logged(&label, cfg, cursor(app, size)))
     });
 
     for (app, runs) in App::ALL.into_iter().zip(results.chunks(1 + schemes.len())) {

@@ -2,23 +2,45 @@
 //!
 //! Runs the default-size Figure-6 workload matrix (every application,
 //! baseline plus the three degree-1 prefetching schemes) single-threaded
-//! and reports throughput as **simulated pclocks per wall-clock second**.
-//! The measurement is recorded under a label in `BENCH_PR1.json` at the
-//! workspace root so optimization work has a before/after ledger.
+//! and reports, separately:
 //!
-//! Usage: `cargo run -p pfsim-bench --bin perfsmoke --release [-- --label NAME]`
+//! * **trace generation time** — each application's packed trace is
+//!   generated exactly once (the per-process trace cache) and shared by
+//!   all four of its runs;
+//! * **simulation time** — the 24 replay runs through `TraceCursor`s;
+//! * **resident bytes per trace operation** of the packed encoding.
 //!
-//! The conventional labels are `seed` (the pre-optimization event loop)
-//! and `optimized`; the default label is `current`.
+//! Throughput (simulated pclocks per wall-clock second, generation
+//! included) is recorded under a label in `BENCH_PR1.json`; the
+//! like-for-like packed-grid measurements live in `BENCH_PR2.json`.
+//!
+//! Usage:
+//! `cargo run -p pfsim-bench --bin perfsmoke --release -- [--label NAME] [--grid NAME] [--check]`
+//!
+//! * `--label NAME` records the run in the BENCH_PR1.json throughput
+//!   ledger (conventional labels: `seed`, `optimized`, `ci`).
+//! * `--grid NAME` records the run (with the generation/simulation split
+//!   and bytes/op) in BENCH_PR2.json.
+//! * `--check` exits nonzero unless this run's total pclocks match the
+//!   ledger's recorded `seed` total (replay determinism) and the packed
+//!   encoding stays within its bytes/op budget.
 
 use std::time::Instant;
 
 use pfsim::{System, SystemConfig};
+use pfsim_bench::{shared_trace, Size};
 use pfsim_prefetch::Scheme;
-use pfsim_workloads::App;
+use pfsim_workloads::{App, TraceCursor};
+
+/// The packed encoding's budget from the trace-subsystem design: a
+/// narrow read is 9 bytes, so the app mix must stay under 10.
+const BYTES_PER_OP_BUDGET: f64 = 10.0;
 
 fn main() {
-    let label = label_from_args();
+    let label = arg_value("--label");
+    let grid_label = arg_value("--grid");
+    let check = std::env::args().any(|a| a == "--check");
+
     let schemes = [
         None,
         Some(Scheme::IDetection { degree: 1 }),
@@ -33,68 +55,152 @@ fn main() {
     )
     .run();
 
+    // Phase 1: trace generation, once per application.
+    let gen_start = Instant::now();
+    let traces: Vec<_> = App::ALL
+        .into_iter()
+        .map(|app| shared_trace(app, Size::Default))
+        .collect();
+    let gen_seconds = gen_start.elapsed().as_secs_f64();
+    let total_ops: usize = traces.iter().map(|t| t.total_ops()).sum();
+    let total_bytes: usize = traces.iter().map(|t| t.packed_bytes()).sum();
+    let bytes_per_op = total_bytes as f64 / total_ops as f64;
+
+    println!(
+        "trace generation: {total_ops} ops in {gen_seconds:.3}s, packed {:.1} KB = {bytes_per_op:.2} bytes/op",
+        total_bytes as f64 / 1024.0
+    );
+    for (app, trace) in App::ALL.into_iter().zip(&traces) {
+        println!(
+            "  {app:10} {:>8} ops, {:.2} bytes/op",
+            trace.total_ops(),
+            trace.bytes_per_op()
+        );
+    }
+
+    // Phase 2: the 24-run grid, replaying shared traces through cursors.
     let mut pclocks = 0u64;
-    let start = Instant::now();
-    for app in App::ALL {
+    let sim_start = Instant::now();
+    for trace in &traces {
         for scheme in schemes {
             let mut cfg = SystemConfig::paper_baseline();
             if let Some(s) = scheme {
                 cfg = cfg.with_scheme(s);
             }
-            let r = System::new(cfg, app.build_default()).run();
+            let r = System::new(cfg, TraceCursor::new(trace.clone())).run();
             pclocks += r.exec_cycles;
         }
     }
-    let seconds = start.elapsed().as_secs_f64();
+    let sim_seconds = sim_start.elapsed().as_secs_f64();
+    let seconds = gen_seconds + sim_seconds;
     let rate = pclocks as f64 / seconds;
 
-    println!("perfsmoke [{label}]: {pclocks} pclocks in {seconds:.2}s = {rate:.0} pclocks/sec");
+    println!("simulation: {pclocks} pclocks in {sim_seconds:.2}s");
+    println!(
+        "perfsmoke [{}]: {pclocks} pclocks in {seconds:.2}s = {rate:.0} pclocks/sec (gen {gen_seconds:.2}s + sim {sim_seconds:.2}s)",
+        label.as_deref().unwrap_or("unrecorded")
+    );
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
-    let entries = update_ledger(path, &label, pclocks, seconds, rate);
-    if let (Some(seed), Some(now)) = (rate_of(&entries, "seed"), rate_of(&entries, &label)) {
-        if label != "seed" {
-            println!("speedup vs seed: {:.2}x", now / seed);
+    if let Some(label) = &label {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+        let entries = update_ledger(
+            path,
+            label,
+            &format!("{{\"pclocks\": {pclocks}, \"seconds\": {seconds:.3}, \"pclocks_per_sec\": {rate:.0}}}"),
+        );
+        if let (Some(seed), Some(now)) = (rate_of(&entries, "seed"), rate_of(&entries, label)) {
+            if label != "seed" {
+                println!("speedup vs seed: {:.2}x", now / seed);
+            }
         }
+        println!("ledger: {path}");
     }
-    println!("ledger: {path}");
+
+    if let Some(label) = &grid_label {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+        update_ledger(
+            path,
+            label,
+            &format!(
+                "{{\"pclocks\": {pclocks}, \"seconds\": {seconds:.3}, \"gen_seconds\": {gen_seconds:.3}, \"sim_seconds\": {sim_seconds:.3}, \"bytes_per_op\": {bytes_per_op:.2}, \"pclocks_per_sec\": {rate:.0}}}"
+            ),
+        );
+        println!("grid ledger: {path}");
+    }
+
+    if check {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+        let entries = read_entries(path);
+        let Some(expected) = pclocks_of(&entries, "seed") else {
+            eprintln!("check: no seed entry in {path}");
+            std::process::exit(1);
+        };
+        if pclocks != expected {
+            eprintln!(
+                "check FAILED: packed grid simulated {pclocks} pclocks but the ledger's seed entry records {expected}"
+            );
+            std::process::exit(1);
+        }
+        if bytes_per_op > BYTES_PER_OP_BUDGET {
+            eprintln!(
+                "check FAILED: packed encoding costs {bytes_per_op:.2} bytes/op (> {BYTES_PER_OP_BUDGET})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check OK: pclock total matches the ledger ({expected}) and {bytes_per_op:.2} bytes/op <= {BYTES_PER_OP_BUDGET}"
+        );
+    }
 }
 
-fn label_from_args() -> String {
+fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--label")
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "current".to_string())
 }
 
-/// One ledger entry per line keyed by label; rewriting a label replaces
-/// its line. The file is a plain JSON object (only this binary writes it).
-fn update_ledger(path: &str, label: &str, pclocks: u64, seconds: f64, rate: f64) -> Vec<String> {
-    let mut entries: Vec<String> = std::fs::read_to_string(path)
+fn read_entries(path: &str) -> Vec<String> {
+    std::fs::read_to_string(path)
         .unwrap_or_default()
         .lines()
         .filter(|l| l.trim_start().starts_with('"'))
-        .filter(|l| !l.trim_start().starts_with(&format!("\"{label}\"")))
         .map(|l| l.trim_end_matches(',').to_string())
+        .collect()
+}
+
+/// One ledger entry per line keyed by label; rewriting a label replaces
+/// its line. The files are plain JSON objects (this binary rewrites the
+/// label-keyed lines and preserves any annotation lines like `"note"`).
+fn update_ledger(path: &str, label: &str, value: &str) -> Vec<String> {
+    let mut entries: Vec<String> = read_entries(path)
+        .into_iter()
+        .filter(|l| !l.trim_start().starts_with(&format!("\"{label}\"")))
         .collect();
-    entries.push(format!(
-        "  \"{label}\": {{\"pclocks\": {pclocks}, \"seconds\": {seconds:.3}, \"pclocks_per_sec\": {rate:.0}}}"
-    ));
+    entries.push(format!("  \"{label}\": {value}"));
     let body = entries.join(",\n");
-    std::fs::write(path, format!("{{\n{body}\n}}\n")).expect("write BENCH_PR1.json");
+    std::fs::write(path, format!("{{\n{body}\n}}\n")).expect("write perf ledger");
     entries
 }
 
-fn rate_of(entries: &[String], label: &str) -> Option<f64> {
+fn field_of(entries: &[String], label: &str, key: &str) -> Option<f64> {
     let line = entries
         .iter()
         .find(|l| l.trim_start().starts_with(&format!("\"{label}\"")))?;
-    let key = "\"pclocks_per_sec\": ";
-    let at = line.find(key)? + key.len();
-    line[at..]
-        .trim_end_matches(['}', ',', ' '])
-        .parse::<f64>()
-        .ok()
+    let key = format!("\"{key}\": ");
+    let at = line.find(&key)? + key.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().ok()
+}
+
+fn rate_of(entries: &[String], label: &str) -> Option<f64> {
+    field_of(entries, label, "pclocks_per_sec")
+}
+
+fn pclocks_of(entries: &[String], label: &str) -> Option<u64> {
+    field_of(entries, label, "pclocks").map(|v| v as u64)
 }

@@ -8,7 +8,7 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{characterize, TextTable};
-use pfsim_bench::{characterization_run, miss_events, Size};
+use pfsim_bench::{characterization_run, miss_event_iter, Size};
 use pfsim_workloads::App;
 
 fn main() {
@@ -29,8 +29,9 @@ fn main() {
 
     for app in App::ALL {
         let result = characterization_run(app, size, SystemConfig::paper_baseline());
-        let misses = miss_events(&result.miss_traces[pfsim_bench::RECORDED_CPU]);
-        let ch = characterize(&misses);
+        let ch = characterize(miss_event_iter(
+            &result.miss_traces[pfsim_bench::RECORDED_CPU],
+        ));
         table.row(vec![
             app.name().into(),
             format!("{:.1}%", ch.stride_fraction() * 100.0),

@@ -10,7 +10,7 @@
 
 use pfsim::{MissCause, SystemConfig};
 use pfsim_analysis::{characterize, TextTable};
-use pfsim_bench::{characterization_run, miss_events, Size, RECORDED_CPU};
+use pfsim_bench::{characterization_run, miss_event_iter, Size, RECORDED_CPU};
 use pfsim_workloads::App;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
         let cfg = SystemConfig::paper_baseline().with_finite_slc(16 * 1024);
         let result = characterization_run(app, size, cfg);
         let trace = &result.miss_traces[RECORDED_CPU];
-        let ch = characterize(&miss_events(trace));
+        let ch = characterize(miss_event_iter(trace));
         let repl = trace
             .iter()
             .filter(|m| m.cause == MissCause::Replacement)

@@ -12,7 +12,7 @@
 
 use pfsim::{RecordMisses, SystemConfig};
 use pfsim_analysis::{characterize, Characterization, TextTable};
-use pfsim_bench::{miss_events, par_map, run_logged, RECORDED_CPU};
+use pfsim_bench::{cursor, miss_event_iter, par_map, run_logged, Size, RECORDED_CPU};
 use pfsim_workloads::App;
 
 fn trend(base: f64, large: f64, tolerance: f64) -> &'static str {
@@ -26,15 +26,12 @@ fn trend(base: f64, large: f64, tolerance: f64) -> &'static str {
 }
 
 fn run(app: App, large: bool) -> Characterization {
-    let wl = if large {
-        app.build_large()
-    } else {
-        app.build_default()
-    };
+    let size = if large { Size::Large } else { Size::Default };
+    let wl = cursor(app, size);
     let cfg = SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(RECORDED_CPU));
     let label = format!("{app}{}", if large { " (large)" } else { "" });
     let result = run_logged(&label, cfg, wl);
-    characterize(&miss_events(&result.miss_traces[RECORDED_CPU]))
+    characterize(miss_event_iter(&result.miss_traces[RECORDED_CPU]))
 }
 
 fn main() {

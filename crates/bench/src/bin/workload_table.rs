@@ -7,8 +7,8 @@
 //! Usage: `cargo run -p pfsim-bench --bin workload_table --release [-- --paper]`
 
 use pfsim_analysis::TextTable;
-use pfsim_bench::Size;
-use pfsim_workloads::{trace_stats, App};
+use pfsim_bench::{shared_trace, Size};
+use pfsim_workloads::{packed_stats, App};
 
 fn main() {
     let size = Size::from_args();
@@ -24,8 +24,7 @@ fn main() {
         "load sites".into(),
     ]);
     for app in App::ALL {
-        let wl = size.build(app);
-        let s = trace_stats(&wl);
+        let s = packed_stats(&shared_trace(app, size));
         table.row(vec![
             app.name().into(),
             format!("{}", s.reads),

@@ -4,22 +4,27 @@
 
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use pfsim::{MissRecord, RecordMisses, SimResult, System, SystemConfig};
 use pfsim_analysis::{MissEvent, RunMetrics};
-use pfsim_workloads::{App, TraceWorkload};
+use pfsim_workloads::{App, PackedTrace, TraceCursor, TraceWorkload, Workload};
 
 mod parallel;
 
 pub use parallel::par_map;
 
 /// Problem-size selection for the experiment binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Size {
     /// Scaled-down inputs: minutes-fast, same qualitative behaviour.
     #[default]
     Default,
     /// The paper's input sizes (slower).
     Paper,
+    /// The enlarged §5.4 data sets (Table 4's "larger data sets" column).
+    Large,
 }
 
 impl Size {
@@ -33,25 +38,67 @@ impl Size {
         }
     }
 
-    /// Builds `app` at this size.
+    /// Builds `app` at this size as a materialized trace.
     pub fn build(self, app: App) -> TraceWorkload {
         match self {
             Size::Default => app.build_default(),
             Size::Paper => app.build_paper(),
+            Size::Large => app.build_large(),
         }
     }
+
+    /// Builds `app` at this size in the packed encoding.
+    pub fn build_packed(self, app: App) -> PackedTrace {
+        match self {
+            Size::Default => app.build_default_packed(),
+            Size::Paper => app.build_paper_packed(),
+            Size::Large => app.build_large_packed(),
+        }
+    }
+}
+
+/// Per-process memoized trace cache: each `(app, size)` is generated
+/// exactly once, packed, and shared by every subsequent run.
+///
+/// The per-key cell is initialized *outside* the map lock, so concurrent
+/// `par_map` workers asking for different traces generate them in
+/// parallel, while workers asking for the same trace block on one
+/// generation instead of duplicating it.
+static TRACE_CACHE: OnceLock<Mutex<HashMap<(App, Size), TraceCell>>> = OnceLock::new();
+
+/// One cache slot: a lazily-filled cell holding the shared packed trace.
+type TraceCell = Arc<OnceLock<Arc<PackedTrace>>>;
+
+/// The shared packed trace for `(app, size)`, generating it on first use.
+pub fn shared_trace(app: App, size: Size) -> Arc<PackedTrace> {
+    let cell = {
+        let mut map = TRACE_CACHE.get_or_init(Default::default).lock().unwrap();
+        Arc::clone(map.entry((app, size)).or_default())
+    };
+    Arc::clone(cell.get_or_init(|| Arc::new(size.build_packed(app))))
+}
+
+/// A fresh replay cursor over the cached shared trace for `(app, size)`.
+///
+/// This is what the experiment binaries feed to `System`: every run gets
+/// its own cursor, all cursors decode the same immutable packed trace.
+pub fn cursor(app: App, size: Size) -> TraceCursor {
+    TraceCursor::new(shared_trace(app, size))
 }
 
 /// Converts a recorded miss stream into classifier input (thin wrapper
 /// over [`SimResult::miss_events`] for callers holding a raw trace).
 pub fn miss_events(trace: &[MissRecord]) -> Vec<MissEvent> {
-    trace
-        .iter()
-        .map(|m| MissEvent {
-            pc: m.pc,
-            block: m.block,
-        })
-        .collect()
+    miss_event_iter(trace).collect()
+}
+
+/// Borrowed-iterator view of a recorded miss stream: yields classifier
+/// events straight off the records, no intermediate `Vec`.
+pub fn miss_event_iter(trace: &[MissRecord]) -> impl Iterator<Item = MissEvent> + '_ {
+    trace.iter().map(|m| MissEvent {
+        pc: m.pc,
+        block: m.block,
+    })
 }
 
 /// Extracts the Figure-6 aggregate metrics from a run.
@@ -60,7 +107,7 @@ pub fn metrics_of(r: &SimResult) -> RunMetrics {
 }
 
 /// Runs `workload` on `cfg`, printing a short progress line to stderr.
-pub fn run_logged(label: &str, cfg: SystemConfig, workload: TraceWorkload) -> SimResult {
+pub fn run_logged(label: &str, cfg: SystemConfig, workload: impl Workload) -> SimResult {
     eprintln!("[run] {label} ({} ops)", workload.total_ops());
     let start = std::time::Instant::now();
     let result = System::new(cfg, workload).run();
@@ -79,10 +126,10 @@ pub fn run_logged(label: &str, cfg: SystemConfig, workload: TraceWorkload) -> Si
 pub const RECORDED_CPU: usize = 5;
 
 /// The §5.1 characterization run: baseline machine, one processor's miss
-/// stream recorded.
+/// stream recorded. Replays the cached shared trace.
 pub fn characterization_run(app: App, size: Size, cfg: SystemConfig) -> SimResult {
     let cfg = cfg.with_recording(RecordMisses::Cpu(RECORDED_CPU));
-    run_logged(app.name(), cfg, size.build(app))
+    run_logged(app.name(), cfg, cursor(app, size))
 }
 
 #[cfg(test)]
@@ -94,6 +141,23 @@ mod tests {
     fn size_builds_every_app() {
         for app in App::ALL {
             assert!(Size::Default.build(app).total_ops() > 0, "{app}");
+        }
+    }
+
+    #[test]
+    fn shared_trace_is_generated_once_and_shared() {
+        let a = shared_trace(App::Mp3d, Size::Default);
+        let b = shared_trace(App::Mp3d, Size::Default);
+        assert!(Arc::ptr_eq(&a, &b), "cache must return the same trace");
+        assert!(Arc::ptr_eq(cursor(App::Mp3d, Size::Default).trace(), &a));
+    }
+
+    #[test]
+    fn shared_trace_survives_concurrent_first_use() {
+        let traces: Vec<Arc<PackedTrace>> =
+            par_map(vec![(); 4], |()| shared_trace(App::Cholesky, Size::Default));
+        for t in &traces {
+            assert!(Arc::ptr_eq(t, &traces[0]));
         }
     }
 

@@ -83,11 +83,12 @@ impl<E> MshrFile<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `block` already has an entry — callers must merge into the
-    /// existing transaction instead (look up with
-    /// [`get_mut`](Self::get_mut) first).
+    /// Panics in debug builds if `block` already has an entry — callers
+    /// must merge into the existing transaction instead (look up with
+    /// [`get_mut`](Self::get_mut) first). Release builds skip the check:
+    /// every allocation would otherwise pay a redundant second CAM scan.
     pub fn alloc(&mut self, block: BlockAddr, entry: E) -> Result<&mut E, MshrFull> {
-        assert!(
+        debug_assert!(
             self.position(block).is_none(),
             "MSHR already allocated for {block}: merge instead"
         );

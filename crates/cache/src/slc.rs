@@ -1,6 +1,6 @@
 //! The lockup-free second-level cache.
 
-use pfsim_mem::{BlockAddr, FxHashMap};
+use pfsim_mem::{BlockAddr, PagedMap};
 
 use crate::{DirectMapped, SetAssocArray};
 
@@ -90,7 +90,7 @@ impl SlcConfig {
 
 #[derive(Debug, Clone)]
 enum Storage {
-    Infinite(FxHashMap<BlockAddr, SlcLine>),
+    Infinite(PagedMap<SlcLine>),
     Finite(DirectMapped<SlcLine>),
     Assoc(SetAssocArray<SlcLine>),
 }
@@ -145,7 +145,7 @@ impl SecondLevelCache {
             "block size must be a power of two"
         );
         let storage = match config {
-            SlcConfig::Infinite => Storage::Infinite(FxHashMap::default()),
+            SlcConfig::Infinite => Storage::Infinite(PagedMap::new()),
             SlcConfig::DirectMapped { capacity_bytes } => {
                 let sets = capacity_bytes / block_bytes;
                 assert!(
@@ -178,7 +178,7 @@ impl SecondLevelCache {
     /// The line holding `block`, if valid.
     pub fn lookup(&self, block: BlockAddr) -> Option<SlcLine> {
         match &self.storage {
-            Storage::Infinite(map) => map.get(&block).copied(),
+            Storage::Infinite(map) => map.get(block.as_u64()).copied(),
             Storage::Finite(dm) => dm.get(block).copied(),
             Storage::Assoc(sa) => sa.get(block).copied(),
         }
@@ -235,7 +235,7 @@ impl SecondLevelCache {
         let line = SlcLine { state, prefetched };
         match &mut self.storage {
             Storage::Infinite(map) => {
-                map.insert(block, line);
+                map.insert(block.as_u64(), line);
                 Eviction::None
             }
             Storage::Finite(dm) => {
@@ -293,7 +293,7 @@ impl SecondLevelCache {
     /// requester; the caller decides what to do with it.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<SlcLine> {
         match &mut self.storage {
-            Storage::Infinite(map) => map.remove(&block),
+            Storage::Infinite(map) => map.remove(block.as_u64()),
             Storage::Finite(dm) => dm.remove(block),
             Storage::Assoc(sa) => sa.remove(block),
         }
@@ -313,7 +313,7 @@ impl SecondLevelCache {
 
     fn line_mut(&mut self, block: BlockAddr) -> Option<&mut SlcLine> {
         match &mut self.storage {
-            Storage::Infinite(map) => map.get_mut(&block),
+            Storage::Infinite(map) => map.get_mut(block.as_u64()),
             Storage::Finite(dm) => dm.get_mut(block),
             Storage::Assoc(sa) => sa.get_mut(block),
         }
@@ -331,7 +331,7 @@ impl SecondLevelCache {
     /// Iterates over all valid `(block, line)` pairs, in arbitrary order.
     pub fn iter(&self) -> Box<dyn Iterator<Item = (BlockAddr, SlcLine)> + '_> {
         match &self.storage {
-            Storage::Infinite(map) => Box::new(map.iter().map(|(b, l)| (*b, *l))),
+            Storage::Infinite(map) => Box::new(map.iter().map(|(b, l)| (BlockAddr::new(b), *l))),
             Storage::Finite(dm) => Box::new(dm.iter().map(|(b, l)| (b, *l))),
             Storage::Assoc(sa) => Box::new(sa.iter().map(|(b, l)| (b, *l))),
         }

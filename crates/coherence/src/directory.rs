@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use pfsim_mem::{BlockAddr, FxHashMap, NodeId};
+use pfsim_mem::{BlockAddr, NodeId, PagedMap};
 
 use crate::SharerSet;
 
@@ -215,19 +215,34 @@ struct Txn {
     wb_arrived: bool,
 }
 
+/// The busy side of an entry: the in-flight transaction plus any requests
+/// queued behind it.
+///
+/// Boxed out of [`Entry`] so the overwhelmingly common idle entry stays
+/// small (the entry table is probed on every coherence message, and idle
+/// probes dominate), and recycled through `Directory::spare` so
+/// steady-state traffic never allocates.
+#[derive(Debug, Clone)]
+struct Busy {
+    /// The in-flight transaction. `None` only transiently while the
+    /// pending queue drains; a `Busy` box is retired as soon as it has
+    /// neither a transaction nor queued requests.
+    txn: Option<Txn>,
+    /// Requests queued behind the transaction, in arrival order.
+    pending: VecDeque<DirRequest>,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     state: DirState,
-    txn: Option<Txn>,
-    pending: VecDeque<DirRequest>,
+    busy: Option<Box<Busy>>,
 }
 
 impl Entry {
     fn new() -> Self {
         Entry {
             state: DirState::Uncached,
-            txn: None,
-            pending: VecDeque::new(),
+            busy: None,
         }
     }
 }
@@ -253,10 +268,19 @@ pub struct DirStats {
 /// example.
 #[derive(Debug, Clone)]
 pub struct Directory {
-    entries: FxHashMap<BlockAddr, Entry>,
+    entries: PagedMap<Entry>,
     nodes: u16,
     stats: DirStats,
+    /// Retired [`Busy`] boxes awaiting reuse (bounded; see `SPARE_CAP`).
+    /// Deliberately `Box`ed: the pool hands the same allocations back to
+    /// [`Entry::busy`], so engaging an entry in steady state never touches
+    /// the allocator.
+    #[allow(clippy::vec_box)]
+    spare: Vec<Box<Busy>>,
 }
+
+/// Upper bound on recycled `Busy` boxes kept per directory slice.
+const SPARE_CAP: usize = 64;
 
 impl Directory {
     /// Creates a directory slice for a system of `nodes` nodes.
@@ -268,9 +292,10 @@ impl Directory {
     pub fn new(nodes: u16) -> Self {
         assert!((1..=64).contains(&nodes), "nodes must be in 1..=64");
         Directory {
-            entries: FxHashMap::default(),
+            entries: PagedMap::new(),
             nodes,
             stats: DirStats::default(),
+            spare: Vec::new(),
         }
     }
 
@@ -282,34 +307,39 @@ impl Directory {
     /// The stable state of `block` (Uncached if never referenced).
     pub fn state(&self, block: BlockAddr) -> DirState {
         self.entries
-            .get(&block)
+            .get(block.as_u64())
             .map(|e| e.state)
             .unwrap_or(DirState::Uncached)
     }
 
     /// Whether a transaction for `block` is in flight at the home.
     pub fn is_busy(&self, block: BlockAddr) -> bool {
-        self.entries.get(&block).is_some_and(|e| e.txn.is_some())
+        self.entries
+            .get(block.as_u64())
+            .is_some_and(|e| e.busy.is_some())
     }
 
     /// Debug description of the in-flight transaction for `block`, if any
     /// (used in deadlock diagnostics).
     pub fn busy_detail(&self, block: BlockAddr) -> Option<String> {
-        let entry = self.entries.get(&block)?;
-        let txn = entry.txn.as_ref()?;
+        let entry = self.entries.get(block.as_u64())?;
+        let busy = entry.busy.as_ref()?;
+        let txn = busy.txn.as_ref()?;
         Some(format!(
             "request {:?} waiting {:?} wb_arrived={} pending={}",
             txn.request,
             txn.waiting,
             txn.wb_arrived,
-            entry.pending.len()
+            busy.pending.len()
         ))
     }
 
     /// Iterates the stable states of all blocks this home has seen
     /// (for coherence audits in tests).
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, DirState)> + '_ {
-        self.entries.iter().map(|(b, e)| (*b, e.state))
+        self.entries
+            .iter()
+            .map(|(b, e)| (BlockAddr::new(b), e.state))
     }
 
     /// Presents `request` to the home node.
@@ -319,18 +349,32 @@ impl Directory {
     /// means the request was queued behind an in-flight transaction for the
     /// same block (or, for a racing writeback, absorbed into it).
     pub fn request(&mut self, block: BlockAddr, request: DirRequest, actions: &mut ActionBuf) {
-        let entry = self.entries.entry(block).or_insert_with(Entry::new);
+        let Directory {
+            entries,
+            stats,
+            spare,
+            ..
+        } = self;
+        let entry = entries.get_or_insert_with(block.as_u64(), Entry::new);
 
-        if entry.txn.is_some() {
+        if entry.busy.is_some() {
             if let DirRequest::Writeback { from } = request {
-                Self::writeback_during_txn(&mut self.stats, entry, from, actions);
+                Self::writeback_during_txn(stats, entry, from, actions);
+                Self::retire_if_idle(spare, &mut entry.busy);
             } else {
-                entry.pending.push_back(request);
+                entry
+                    .busy
+                    .as_mut()
+                    .expect("checked")
+                    .pending
+                    .push_back(request);
             }
             return;
         }
 
-        Self::start(&mut self.stats, entry, request, actions);
+        if let Some(txn) = Self::start(stats, &mut entry.state, request, actions) {
+            Self::engage(spare, entry, txn);
+        }
     }
 
     /// Delivers the owner's reply to a `Fetch`/`FetchInval` action,
@@ -344,11 +388,18 @@ impl Directory {
     ///
     /// Panics if no fetch is outstanding for `block`.
     pub fn fetch_done(&mut self, block: BlockAddr, had_copy: bool, actions: &mut ActionBuf) {
-        let entry = self
-            .entries
-            .get_mut(&block)
+        let Directory {
+            entries,
+            stats,
+            spare,
+            ..
+        } = self;
+        let entry = entries
+            .get_mut(block.as_u64())
             .expect("fetch_done for unknown block");
-        let txn = entry.txn.as_mut().expect("fetch_done with no transaction");
+        let Entry { state, busy } = entry;
+        let b = busy.as_mut().expect("fetch_done with no transaction");
+        let txn = b.txn.as_mut().expect("fetch_done with no transaction");
         assert!(
             matches!(txn.waiting, Waiting::Fetch { .. }),
             "fetch_done while waiting for {:?}",
@@ -365,7 +416,7 @@ impl Directory {
                     };
                     let mut sharers = SharerSet::singleton(owner);
                     sharers.insert(from);
-                    entry.state = DirState::Shared(sharers);
+                    *state = DirState::Shared(sharers);
                     // The dirty data goes both to memory and to the
                     // requester.
                     actions.push(DirAction::WriteMemory);
@@ -376,7 +427,7 @@ impl Directory {
                     });
                 }
                 DirRequest::ReadExclusive { from } | DirRequest::Upgrade { from } => {
-                    entry.state = DirState::Modified(from);
+                    *state = DirState::Modified(from);
                     actions.push(DirAction::SendData {
                         to: from,
                         exclusive: true,
@@ -385,15 +436,17 @@ impl Directory {
                 }
                 DirRequest::Writeback { .. } => unreachable!("writebacks never fetch"),
             }
-            self.stats.owner_supplied += 1;
-            entry.txn = None;
-            Self::drain_pending(&mut self.stats, entry, actions);
+            stats.owner_supplied += 1;
+            b.txn = None;
+            Self::drain_pending(stats, state, b, actions);
+            Self::retire_if_idle(spare, busy);
         } else if txn.wb_arrived {
             // The racing writeback already refreshed memory.
             let request = txn.request;
-            entry.txn = None;
-            Self::complete_from_memory(&mut self.stats, entry, request, actions);
-            Self::drain_pending(&mut self.stats, entry, actions);
+            b.txn = None;
+            Self::complete_from_memory(stats, state, request, actions);
+            Self::drain_pending(stats, state, b, actions);
+            Self::retire_if_idle(spare, busy);
         } else {
             txn.waiting = Waiting::WritebackData;
         }
@@ -406,11 +459,18 @@ impl Directory {
     ///
     /// Panics if no invalidation round is outstanding for `block`.
     pub fn inval_ack(&mut self, block: BlockAddr, actions: &mut ActionBuf) {
-        let entry = self
-            .entries
-            .get_mut(&block)
+        let Directory {
+            entries,
+            stats,
+            spare,
+            ..
+        } = self;
+        let entry = entries
+            .get_mut(block.as_u64())
             .expect("inval_ack for unknown block");
-        let txn = entry.txn.as_mut().expect("inval_ack with no transaction");
+        let Entry { state, busy } = entry;
+        let b = busy.as_mut().expect("inval_ack with no transaction");
+        let txn = b.txn.as_mut().expect("inval_ack with no transaction");
         let Waiting::Acks { remaining } = &mut txn.waiting else {
             panic!("inval_ack while waiting for {:?}", txn.waiting);
         };
@@ -420,42 +480,44 @@ impl Directory {
         }
 
         let request = txn.request;
-        entry.txn = None;
+        b.txn = None;
         match request {
             DirRequest::ReadExclusive { from } => {
-                entry.state = DirState::Modified(from);
+                *state = DirState::Modified(from);
                 actions.push(DirAction::ReadMemory);
                 actions.push(DirAction::SendData {
                     to: from,
                     exclusive: true,
                     prefetch: false,
                 });
-                self.stats.memory_supplied += 1;
+                stats.memory_supplied += 1;
             }
             DirRequest::Upgrade { from } => {
-                entry.state = DirState::Modified(from);
+                *state = DirState::Modified(from);
                 actions.push(DirAction::SendAck { to: from });
             }
             DirRequest::ReadShared { .. } | DirRequest::Writeback { .. } => {
                 unreachable!("only ownership requests wait for acks")
             }
         }
-        Self::drain_pending(&mut self.stats, entry, actions);
+        Self::drain_pending(stats, state, b, actions);
+        Self::retire_if_idle(spare, busy);
     }
 
-    /// Starts `request` on an idle entry, appending actions.
+    /// Starts `request` on an idle entry, appending actions. Returns the
+    /// transaction to install if the request could not complete at once.
     fn start(
         stats: &mut DirStats,
-        entry: &mut Entry,
+        state: &mut DirState,
         request: DirRequest,
         actions: &mut ActionBuf,
-    ) {
+    ) -> Option<Txn> {
         // An upgrade whose requester no longer appears in the presence
         // vector lost its copy to a racing invalidation or replacement: it
         // needs data, i.e. it *is* a read-exclusive.
         let request = match request {
             DirRequest::Upgrade { from } => {
-                let has_copy = matches!(entry.state, DirState::Shared(s) if s.contains(from));
+                let has_copy = matches!(*state, DirState::Shared(s) if s.contains(from));
                 if has_copy {
                     request
                 } else {
@@ -465,32 +527,34 @@ impl Directory {
             other => other,
         };
         match request {
-            DirRequest::ReadShared { from, prefetch: _ } => match entry.state {
+            DirRequest::ReadShared { from, prefetch: _ } => match *state {
                 DirState::Uncached | DirState::Shared(_) => {
-                    Self::complete_from_memory(stats, entry, request, actions);
+                    Self::complete_from_memory(stats, state, request, actions);
+                    None
                 }
                 DirState::Modified(owner) if owner != from => {
-                    entry.txn = Some(Txn {
+                    actions.push(DirAction::Fetch { owner });
+                    Some(Txn {
                         request,
                         waiting: Waiting::Fetch { owner },
                         wb_arrived: false,
-                    });
-                    actions.push(DirAction::Fetch { owner });
+                    })
                 }
                 DirState::Modified(_) => {
                     // The requester is the recorded owner: it must have
                     // evicted the block; its writeback is in flight.
-                    entry.txn = Some(Txn {
+                    Some(Txn {
                         request,
                         waiting: Waiting::WritebackData,
                         wb_arrived: false,
-                    });
+                    })
                 }
             },
             DirRequest::ReadExclusive { from } | DirRequest::Upgrade { from } => {
-                match entry.state {
+                match *state {
                     DirState::Uncached => {
-                        Self::complete_from_memory(stats, entry, request, actions);
+                        Self::complete_from_memory(stats, state, request, actions);
+                        None
                     }
                     DirState::Shared(sharers) => {
                         let others = sharers.without(from);
@@ -500,43 +564,42 @@ impl Directory {
                             {
                                 // Sole sharer upgrading: ownership granted
                                 // without data.
-                                entry.state = DirState::Modified(from);
+                                *state = DirState::Modified(from);
                                 actions.push(DirAction::SendAck { to: from });
                             } else {
-                                Self::complete_from_memory(stats, entry, request, actions);
+                                Self::complete_from_memory(stats, state, request, actions);
                             }
+                            None
                         } else {
                             stats.invalidations += u64::from(others.len());
-                            entry.txn = Some(Txn {
+                            actions.push(DirAction::Invalidate { targets: others });
+                            Some(Txn {
                                 request,
                                 waiting: Waiting::Acks {
                                     remaining: others.len(),
                                 },
                                 wb_arrived: false,
-                            });
-                            actions.push(DirAction::Invalidate { targets: others });
+                            })
                         }
                     }
                     DirState::Modified(owner) if owner != from => {
-                        entry.txn = Some(Txn {
+                        actions.push(DirAction::FetchInval { owner });
+                        Some(Txn {
                             request,
                             waiting: Waiting::Fetch { owner },
                             wb_arrived: false,
-                        });
-                        actions.push(DirAction::FetchInval { owner });
+                        })
                     }
-                    DirState::Modified(_) => {
-                        entry.txn = Some(Txn {
-                            request,
-                            waiting: Waiting::WritebackData,
-                            wb_arrived: false,
-                        });
-                    }
+                    DirState::Modified(_) => Some(Txn {
+                        request,
+                        waiting: Waiting::WritebackData,
+                        wb_arrived: false,
+                    }),
                 }
             }
             DirRequest::Writeback { from } => {
-                if entry.state == DirState::Modified(from) {
-                    entry.state = DirState::Uncached;
+                if *state == DirState::Modified(from) {
+                    *state = DirState::Uncached;
                     stats.writebacks += 1;
                     actions.push(DirAction::WriteMemory);
                 } else {
@@ -546,6 +609,7 @@ impl Directory {
                     debug_assert!(false, "stale writeback from {from:?}");
                     stats.stale_writebacks += 1;
                 }
+                None
             }
         }
     }
@@ -558,7 +622,9 @@ impl Directory {
         actions: &mut ActionBuf,
     ) {
         stats.writebacks += 1;
-        let txn = entry.txn.as_mut().expect("busy entry has a txn");
+        let Entry { state, busy } = entry;
+        let b = busy.as_mut().expect("busy entry has a txn");
+        let txn = b.txn.as_mut().expect("busy entry has a txn");
         match txn.waiting {
             Waiting::Fetch { owner } if owner == from => {
                 // The fetch will find no copy; remember that memory is now
@@ -570,9 +636,9 @@ impl Directory {
                 // This is the writeback the transaction was waiting for.
                 actions.push(DirAction::WriteMemory);
                 let request = txn.request;
-                entry.txn = None;
-                Self::complete_from_memory(stats, entry, request, actions);
-                Self::drain_pending(stats, entry, actions);
+                b.txn = None;
+                Self::complete_from_memory(stats, state, request, actions);
+                Self::drain_pending(stats, state, b, actions);
             }
             _ => {
                 debug_assert!(
@@ -588,19 +654,19 @@ impl Directory {
     /// Completes `request` with memory as the data source, updating state.
     fn complete_from_memory(
         stats: &mut DirStats,
-        entry: &mut Entry,
+        state: &mut DirState,
         request: DirRequest,
         actions: &mut ActionBuf,
     ) {
         stats.memory_supplied += 1;
         match request {
             DirRequest::ReadShared { from, prefetch } => {
-                let mut sharers = match entry.state {
+                let mut sharers = match *state {
                     DirState::Shared(s) => s,
                     _ => SharerSet::new(),
                 };
                 sharers.insert(from);
-                entry.state = DirState::Shared(sharers);
+                *state = DirState::Shared(sharers);
                 actions.push(DirAction::ReadMemory);
                 actions.push(DirAction::SendData {
                     to: from,
@@ -612,7 +678,7 @@ impl Directory {
                 // An upgrade that reaches here lost its copy to a racing
                 // invalidation (or the block returned to memory): it is
                 // served as a full exclusive read, data included.
-                entry.state = DirState::Modified(from);
+                *state = DirState::Modified(from);
                 actions.push(DirAction::ReadMemory);
                 actions.push(DirAction::SendData {
                     to: from,
@@ -626,12 +692,49 @@ impl Directory {
 
     /// After a transaction completes, starts as many queued requests as can
     /// run back to back.
-    fn drain_pending(stats: &mut DirStats, entry: &mut Entry, actions: &mut ActionBuf) {
-        while entry.txn.is_none() {
-            let Some(next) = entry.pending.pop_front() else {
+    fn drain_pending(
+        stats: &mut DirStats,
+        state: &mut DirState,
+        b: &mut Busy,
+        actions: &mut ActionBuf,
+    ) {
+        while b.txn.is_none() {
+            let Some(next) = b.pending.pop_front() else {
                 break;
             };
-            Self::start(stats, entry, next, actions);
+            b.txn = Self::start(stats, state, next, actions);
+        }
+    }
+
+    /// Installs `txn` on an idle entry, reusing a retired `Busy` box when
+    /// one is available.
+    #[allow(clippy::vec_box)]
+    fn engage(spare: &mut Vec<Box<Busy>>, entry: &mut Entry, txn: Txn) {
+        debug_assert!(entry.busy.is_none());
+        let busy = match spare.pop() {
+            Some(mut b) => {
+                debug_assert!(b.pending.is_empty());
+                b.txn = Some(txn);
+                b
+            }
+            None => Box::new(Busy {
+                txn: Some(txn),
+                pending: VecDeque::new(),
+            }),
+        };
+        entry.busy = Some(busy);
+    }
+
+    /// Returns an entry's `Busy` box to the spare pool once it holds
+    /// neither a transaction nor queued requests.
+    #[allow(clippy::vec_box)]
+    fn retire_if_idle(spare: &mut Vec<Box<Busy>>, busy: &mut Option<Box<Busy>>) {
+        if busy.as_ref().is_some_and(|b| b.txn.is_none()) {
+            let b = busy.take().expect("checked");
+            debug_assert!(b.pending.is_empty(), "drained entry still has requests");
+            if spare.len() < SPARE_CAP {
+                spare.push(b);
+            }
         }
     }
 

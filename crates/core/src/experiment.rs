@@ -1,7 +1,12 @@
 //! Convenience drivers for the paper's experiments.
+//!
+//! All drivers are generic over [`Workload`], so they accept both a
+//! materialized [`TraceWorkload`](pfsim_workloads::TraceWorkload) and a
+//! zero-copy [`TraceCursor`](pfsim_workloads::TraceCursor) over a shared
+//! packed trace with static dispatch either way.
 
 use pfsim_prefetch::Scheme;
-use pfsim_workloads::{TraceWorkload, Workload};
+use pfsim_workloads::Workload;
 
 use crate::{RecordMisses, SimResult, System, SystemConfig};
 
@@ -18,7 +23,7 @@ use crate::{RecordMisses, SimResult, System, SystemConfig};
 /// let seq = experiment::run_scheme(micro::sequential_walk(16, 64, 1), Scheme::Sequential { degree: 1 });
 /// assert!(seq.read_misses() < base.read_misses());
 /// ```
-pub fn run_scheme(workload: TraceWorkload, scheme: Scheme) -> SimResult {
+pub fn run_scheme(workload: impl Workload, scheme: Scheme) -> SimResult {
     System::new(SystemConfig::paper_baseline().with_scheme(scheme), workload).run()
 }
 
@@ -29,7 +34,7 @@ pub fn run_config(workload: impl Workload, cfg: SystemConfig) -> SimResult {
 
 /// Runs the §5.1 characterization configuration: the baseline machine
 /// (no prefetching) with the miss stream of processor `cpu` recorded.
-pub fn run_baseline_recording(workload: TraceWorkload, cpu: usize) -> SimResult {
+pub fn run_baseline_recording(workload: impl Workload, cpu: usize) -> SimResult {
     let cfg = SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(cpu));
     System::new(cfg, workload).run()
 }

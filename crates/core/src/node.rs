@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 use pfsim_cache::{FifoBuffer, FirstLevelCache, MshrFile, SecondLevelCache};
 use pfsim_coherence::Directory;
 use pfsim_engine::{Cycle, FifoServer};
-use pfsim_mem::{Addr, BlockAddr, FxHashMap, Pc};
+use pfsim_mem::{Addr, BlockAddr, PagedMap, Pc};
 use pfsim_prefetch::Prefetcher;
 
 use crate::msg::Msg;
@@ -183,7 +183,7 @@ pub(crate) struct Node {
     /// A block with no record was never resident here: any block that
     /// leaves the SLC — invalidation, fetch-invalidate or replacement —
     /// records its removal, so absence of a record means a cold miss.
-    pub removal: FxHashMap<BlockAddr, MissCause>,
+    pub removal: PagedMap<MissCause>,
     pub miss_trace: Vec<MissRecord>,
     pub record: bool,
 }
@@ -211,7 +211,7 @@ impl Node {
             mem: FifoServer::new(),
             locks: LockTable::new(),
             stats: NodeStats::default(),
-            removal: FxHashMap::default(),
+            removal: PagedMap::new(),
             miss_trace: Vec::new(),
             record,
         }
@@ -222,7 +222,11 @@ impl Node {
         // A block misses either because it was never here (cold) or
         // because something removed it — and every removal path records
         // its cause, so the removal map alone classifies the miss.
-        let cause = self.removal.get(&block).copied().unwrap_or(MissCause::Cold);
+        let cause = self
+            .removal
+            .get(block.as_u64())
+            .copied()
+            .unwrap_or(MissCause::Cold);
         match cause {
             MissCause::Cold => self.stats.cold_misses += 1,
             MissCause::Coherence => self.stats.coherence_misses += 1,
@@ -263,13 +267,13 @@ mod tests {
     #[test]
     fn recorded_removal_wins() {
         let mut n = node();
-        n.removal.insert(BlockAddr::new(9), MissCause::Replacement);
+        n.removal.insert(9, MissCause::Replacement);
         // Even a first *demand* touch is a replacement miss if a prefetch
         // brought the block in and a conflict displaced it.
         assert_eq!(n.classify_miss(BlockAddr::new(9)), MissCause::Replacement);
         assert_eq!(n.stats.replacement_misses, 1);
 
-        n.removal.insert(BlockAddr::new(9), MissCause::Coherence);
+        n.removal.insert(9, MissCause::Coherence);
         assert_eq!(n.classify_miss(BlockAddr::new(9)), MissCause::Coherence);
     }
 
@@ -278,9 +282,9 @@ mod tests {
         let mut n = node();
         n.classify_miss(BlockAddr::new(1));
         n.classify_miss(BlockAddr::new(2));
-        n.removal.insert(BlockAddr::new(1), MissCause::Coherence);
+        n.removal.insert(1, MissCause::Coherence);
         n.classify_miss(BlockAddr::new(1));
-        n.removal.insert(BlockAddr::new(2), MissCause::Replacement);
+        n.removal.insert(2, MissCause::Replacement);
         n.classify_miss(BlockAddr::new(2));
         assert_eq!(n.stats.cold_misses, 2);
         assert_eq!(n.stats.coherence_misses, 1);

@@ -26,6 +26,18 @@ enum Ev {
     Deliver(u16, Msg),
 }
 
+/// Outcome of one FLWB drain attempt (see [`System::slc_drain_one`]).
+enum Drained {
+    /// An entry was consumed; service may continue.
+    One,
+    /// No entry can be served in this event.
+    Idle,
+    /// The head exists but is issued at a future time, and its wakeup
+    /// would pop as the very next event: the caller may fast-forward to
+    /// this time instead of scheduling.
+    ParkedUntil(Cycle),
+}
+
 /// The simulated multiprocessor.
 ///
 /// Couples a [`SystemConfig`] with a [`Workload`] and runs the parallel
@@ -314,29 +326,42 @@ impl<W: Workload> System<W> {
 
     /// Runs the processor of node `n` from its local time until it blocks,
     /// finishes, or exhausts its time slice.
+    ///
+    /// The node, queue and workload are split-borrowed once up front: this
+    /// loop consumes every trace operation, so it must not re-index
+    /// `self.nodes` or round-trip `pending_op` through memory per op.
     fn cpu_step(&mut self, n: u16, now: Cycle) {
         let ni = n as usize;
-        if self.nodes[ni].status != CpuStatus::Ready {
+        let System {
+            cfg,
+            workload,
+            queue,
+            nodes,
+            ..
+        } = self;
+        let node = &mut nodes[ni];
+        if node.status != CpuStatus::Ready {
             return;
         }
-        let mut t = self.nodes[ni].cpu_time.max(now);
-        let slice_end = t + self.cfg.cpu_slice;
-        let geometry = self.cfg.geometry;
+        let mut t = node.cpu_time.max(now);
+        let slice_end = t + cfg.cpu_slice;
+        let geometry = cfg.geometry;
+        let sequential = cfg.consistency == crate::ConsistencyModel::Sequential;
+        let mut pending = node.pending_op.take();
 
         loop {
             if t >= slice_end {
-                let node = &mut self.nodes[ni];
                 node.cpu_time = t;
-                self.queue.schedule(t, Ev::CpuStep(n));
+                queue.schedule(t, Ev::CpuStep(n));
                 return;
             }
-            let op = match self.nodes[ni].pending_op.take() {
+            let op = match pending.take() {
                 Some(op) => op,
-                None => match self.workload.next(ni) {
+                None => match workload.next(ni) {
                     Some(op) => op,
                     None => {
-                        self.nodes[ni].status = CpuStatus::Done;
-                        self.nodes[ni].cpu_time = t;
+                        node.status = CpuStatus::Done;
+                        node.cpu_time = t;
                         return;
                     }
                 },
@@ -346,7 +371,6 @@ impl<W: Workload> System<W> {
                     t += u64::from(cycles);
                 }
                 Op::Read { addr, pc } => {
-                    let node = &mut self.nodes[ni];
                     let block = geometry.block_of(addr);
                     if node.flc.read(block) {
                         node.stats.reads += 1;
@@ -356,7 +380,7 @@ impl<W: Workload> System<W> {
                     }
                     if node.flwb.is_full() {
                         // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        defer_for_flwb(node, queue, n, op, t);
                         return;
                     }
                     node.stats.reads += 1;
@@ -367,72 +391,68 @@ impl<W: Workload> System<W> {
                             issued: t,
                         })
                         .expect("checked above");
-                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitRead, t);
+                    block_cpu(node, queue, n, CpuStatus::WaitRead, t);
                     return;
                 }
                 Op::Write { addr, pc: _ } => {
-                    let node = &mut self.nodes[ni];
                     // Write-through, no-write-allocate FLC: the tag array
                     // is unchanged whether it hits or misses.
                     let _ = node.flc.write(geometry.block_of(addr));
                     if node.flwb.is_full() {
                         // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        defer_for_flwb(node, queue, n, op, t);
                         return;
                     }
                     node.stats.writes += 1;
                     node.flwb
                         .push(FlwbEntry::Write { addr, issued: t })
                         .expect("checked above");
-                    if self.cfg.consistency == crate::ConsistencyModel::Sequential {
+                    if sequential {
                         // Sequential consistency: the processor waits for
                         // every write to perform globally.
                         node.status = CpuStatus::WaitWrite;
                         node.issue_time = t;
                         node.cpu_time = t;
-                        notify_slc(node, &mut self.queue, n, t);
+                        notify_slc(node, queue, n, t);
                         return;
                     }
                     t += 1;
-                    notify_slc(node, &mut self.queue, n, t);
+                    notify_slc(node, queue, n, t);
                 }
                 Op::Acquire { lock } => {
-                    let node = &mut self.nodes[ni];
                     if node.flwb.is_full() {
                         // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        defer_for_flwb(node, queue, n, op, t);
                         return;
                     }
                     node.flwb
                         .push(FlwbEntry::Acquire { lock, issued: t })
                         .expect("checked above");
-                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitLock, t);
+                    block_cpu(node, queue, n, CpuStatus::WaitLock, t);
                     return;
                 }
                 Op::Release { lock } => {
-                    let node = &mut self.nodes[ni];
                     if node.flwb.is_full() {
                         // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        defer_for_flwb(node, queue, n, op, t);
                         return;
                     }
                     node.flwb
                         .push(FlwbEntry::Release { lock, issued: t })
                         .expect("checked above");
-                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitLock, t);
+                    block_cpu(node, queue, n, CpuStatus::WaitLock, t);
                     return;
                 }
                 Op::Barrier { id } => {
-                    let node = &mut self.nodes[ni];
                     if node.flwb.is_full() {
                         // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, &mut self.queue, n, op, t);
+                        defer_for_flwb(node, queue, n, op, t);
                         return;
                     }
                     node.flwb
                         .push(FlwbEntry::Barrier { id, issued: t })
                         .expect("checked above");
-                    block_cpu(node, &mut self.queue, n, CpuStatus::WaitBarrier, t);
+                    block_cpu(node, queue, n, CpuStatus::WaitBarrier, t);
                     return;
                 }
             }
@@ -468,31 +488,97 @@ impl<W: Workload> System<W> {
 
     /// The SLC of node `n` services one job (an incoming message has
     /// priority over the FLWB head).
+    ///
+    /// After each job the handler decides how to continue. If more work is
+    /// queued it would normally schedule `SlcWork` at the server's free
+    /// time; but when nothing else in the event queue is due at or before
+    /// that time, the scheduled event would pop as the very next event
+    /// with state identical to right now — so the handler serves the next
+    /// job inline instead, skipping the queue round-trip. The peek must be
+    /// strict (`> at`): a same-time event with an earlier sequence number
+    /// would pop first, and fusing past it would reorder the simulation.
     fn slc_work(&mut self, n: u16, now: Cycle) {
         let ni = n as usize;
-        self.nodes[ni].slc_scheduled_at = None;
+        let mut now = now;
+        loop {
+            self.nodes[ni].slc_scheduled_at = None;
 
-        if let Some(msg) = self.nodes[ni].incoming.pop_front() {
-            let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-            self.handle_slc_msg(n, msg, done);
-            self.reschedule_slc(n, now);
-            return;
+            if let Some(msg) = self.nodes[ni].incoming.pop_front() {
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                self.handle_slc_msg(n, msg, done);
+            } else {
+                match self.slc_drain_one(n, now) {
+                    Drained::One => {}
+                    Drained::Idle => return,
+                    // A future-issued head whose wakeup would pop as the
+                    // very next event: skip ahead and retry in this event.
+                    Drained::ParkedUntil(at) => {
+                        now = at;
+                        continue;
+                    }
+                }
+            }
+
+            match self.reschedule_or_fuse(n) {
+                // Guaranteed-next: serve the following job in this event.
+                Some(at) => now = at,
+                None => return,
+            }
         }
+    }
 
-        // FLWB drain. Inspect the head without consuming it: entries that
-        // need resources may have to wait.
+    /// After an SLC job completes: schedules the next job if any work is
+    /// queued, or — when that event would pop as the very next event —
+    /// returns its time so the caller serves it inline instead (the
+    /// fusion rule documented on [`Self::slc_work`]).
+    fn reschedule_or_fuse(&mut self, n: u16) -> Option<Cycle> {
+        let ni = n as usize;
+        let node = &self.nodes[ni];
+        if node.slc_scheduled_at.is_some() {
+            // A handler already armed service (e.g. an unblocked drain).
+            return None;
+        }
+        // A blocked drain only gates FLWB consumption; incoming coherence
+        // messages must keep flowing (they are what unblocks the drain).
+        let has_work = !node.incoming.is_empty()
+            || (node.drain_block == DrainBlock::None && !node.flwb.is_empty());
+        if !has_work {
+            return None;
+        }
+        let at = node.slc_server.free_at();
+        if self.queue.peek_time().is_none_or(|p| p > at) {
+            return Some(at);
+        }
+        self.nodes[ni].slc_scheduled_at = Some(at);
+        self.queue.schedule(at, Ev::SlcWork(n));
+        None
+    }
+
+    /// Drains one FLWB entry at `now` if one is ready. Returns
+    /// [`Drained::Idle`] when service is finished for this event (empty
+    /// buffer, a parked future-issued head, or a blocked drain), or
+    /// [`Drained::ParkedUntil`] when the head is future-issued but its
+    /// wakeup would be guaranteed-next (the caller fast-forwards).
+    fn slc_drain_one(&mut self, n: u16, now: Cycle) -> Drained {
+        let ni = n as usize;
+        // Inspect the head without consuming it: entries that need
+        // resources may have to wait.
         let Some(head) = self.nodes[ni].flwb.peek().copied() else {
             // A stale wakeup: an earlier event already drained the queue.
             self.nodes[ni].stats.spurious_slc_wakeups += 1;
-            return;
+            return Drained::Idle;
         };
         if head.issued() > now {
             // The processor runs ahead of the event loop; this entry does
             // not exist yet at SLC time.
+            let at = head.issued();
+            if self.queue.peek_time().is_none_or(|p| p > at) {
+                return Drained::ParkedUntil(at);
+            }
             let node = &mut self.nodes[ni];
-            node.slc_scheduled_at = Some(head.issued());
-            self.queue.schedule(head.issued(), Ev::SlcWork(n));
-            return;
+            node.slc_scheduled_at = Some(at);
+            self.queue.schedule(at, Ev::SlcWork(n));
+            return Drained::Idle;
         }
 
         match head {
@@ -506,7 +592,7 @@ impl<W: Workload> System<W> {
                     && !node.mshr.contains(block)
                 {
                     node.drain_block = DrainBlock::MshrFull;
-                    return;
+                    return Drained::Idle;
                 }
                 self.nodes[ni].flwb.pop();
                 let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
@@ -524,7 +610,7 @@ impl<W: Workload> System<W> {
                     };
                     if needs_slot {
                         node.drain_block = DrainBlock::MshrFull;
-                        return;
+                        return Drained::Idle;
                     }
                 }
                 self.nodes[ni].flwb.pop();
@@ -551,7 +637,7 @@ impl<W: Workload> System<W> {
             FlwbEntry::Release { lock, .. } => {
                 if self.nodes[ni].pending_write_txns > 0 {
                     self.nodes[ni].drain_block = DrainBlock::ReleasePending;
-                    return;
+                    return Drained::Idle;
                 }
                 self.nodes[ni].flwb.pop();
                 let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
@@ -577,7 +663,7 @@ impl<W: Workload> System<W> {
             FlwbEntry::Barrier { id, .. } => {
                 if self.nodes[ni].pending_write_txns > 0 {
                     self.nodes[ni].drain_block = DrainBlock::ReleasePending;
-                    return;
+                    return Drained::Idle;
                 }
                 self.nodes[ni].flwb.pop();
                 let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
@@ -609,25 +695,7 @@ impl<W: Workload> System<W> {
             self.resume_cpu(n, at);
         }
 
-        self.reschedule_slc(n, now);
-    }
-
-    /// Schedules the next SLC job if any work is queued.
-    fn reschedule_slc(&mut self, n: u16, _now: Cycle) {
-        let ni = n as usize;
-        let node = &mut self.nodes[ni];
-        if node.slc_scheduled_at.is_some() {
-            return;
-        }
-        // A blocked drain only gates FLWB consumption; incoming coherence
-        // messages must keep flowing (they are what unblocks the drain).
-        let has_work = !node.incoming.is_empty()
-            || (node.drain_block == DrainBlock::None && !node.flwb.is_empty());
-        if has_work {
-            node.slc_scheduled_at = Some(node.slc_server.free_at());
-            self.queue
-                .schedule(node.slc_server.free_at(), Ev::SlcWork(n));
-        }
+        Drained::One
     }
 
     /// Clears a drain block of the given kind and restarts SLC service.
@@ -858,7 +926,7 @@ impl<W: Workload> System<W> {
                     if node.slc.invalidate(block).is_some() {
                         node.flc.invalidate(block);
                         node.removal
-                            .insert(block, crate::stats::MissCause::Coherence);
+                            .insert(block.as_u64(), crate::stats::MissCause::Coherence);
                         true
                     } else {
                         false
@@ -882,7 +950,7 @@ impl<W: Workload> System<W> {
                 if node.slc.invalidate(block).is_some() {
                     node.flc.invalidate(block);
                     node.removal
-                        .insert(block, crate::stats::MissCause::Coherence);
+                        .insert(block.as_u64(), crate::stats::MissCause::Coherence);
                 }
                 send(
                     &mut self.mesh,
@@ -1017,7 +1085,7 @@ impl<W: Workload> System<W> {
                 let node = &mut self.nodes[ni];
                 node.flc.invalidate(victim);
                 node.removal
-                    .insert(victim, crate::stats::MissCause::Replacement);
+                    .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
                 // Clean copies are dropped silently; the directory's
                 // presence bit goes stale and a future invalidation will
                 // simply be acknowledged without effect.
@@ -1026,7 +1094,7 @@ impl<W: Workload> System<W> {
                 let node = &mut self.nodes[ni];
                 node.flc.invalidate(victim);
                 node.removal
-                    .insert(victim, crate::stats::MissCause::Replacement);
+                    .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
                 node.stats.writebacks += 1;
                 let home = self.home_of(victim);
                 send(
@@ -1150,8 +1218,27 @@ impl<W: Workload> System<W> {
             | Msg::Inval { .. }
             | Msg::DataReply { .. }
             | Msg::AckReply { .. } => {
-                self.nodes[ni].incoming.push_back(msg);
-                notify_slc(&mut self.nodes[ni], &mut self.queue, n, now);
+                // Fast path: the SLC is idle and nothing else is due at
+                // `now` (strictly later or empty queue), so queueing the
+                // message and scheduling `SlcWork(now)` would fire that
+                // event as the very next pop with identical state. Serve
+                // the message inline instead and skip the round-trip. The
+                // peek must be strict: a same-time event with an earlier
+                // sequence number would pop first.
+                if self.nodes[ni].incoming.is_empty()
+                    && self.nodes[ni].slc_server.is_idle_at(now)
+                    && self.queue.peek_time().is_none_or(|t| t > now)
+                {
+                    self.nodes[ni].slc_scheduled_at = None;
+                    let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                    self.handle_slc_msg(n, msg, done);
+                    if let Some(at) = self.reschedule_or_fuse(n) {
+                        self.slc_work(n, at);
+                    }
+                } else {
+                    self.nodes[ni].incoming.push_back(msg);
+                    notify_slc(&mut self.nodes[ni], &mut self.queue, n, now);
+                }
             }
             Msg::LockReq { lock, from } => {
                 let t0 = self.home_service(ni, now);

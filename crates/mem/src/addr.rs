@@ -4,6 +4,13 @@ use std::fmt;
 
 /// A byte address in the simulated shared address space.
 ///
+/// The payload is a full `u64`, but the type is packed to 4-byte
+/// alignment: `Addr` rides inside every trace operation
+/// (`pfsim_workloads::Op`) next to a 4-byte program counter, and the
+/// relaxed alignment is what lets that enum fit in 16 bytes instead of
+/// 24. All accessors work by value, so the alignment is invisible to
+/// callers.
+///
 /// # Examples
 ///
 /// ```
@@ -13,6 +20,7 @@ use std::fmt;
 /// assert_eq!(a.offset(-0x10), Addr::new(0xf0));
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(Rust, packed(4))]
 pub struct Addr(u64);
 
 impl Addr {
@@ -53,19 +61,22 @@ impl Addr {
 
 impl fmt::Debug for Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Addr({:#x})", self.0)
+        let addr = self.0;
+        write!(f, "Addr({addr:#x})")
     }
 }
 
 impl fmt::Display for Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:#x}", self.0)
+        let addr = self.0;
+        write!(f, "{addr:#x}")
     }
 }
 
 impl fmt::LowerHex for Addr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::LowerHex::fmt(&self.0, f)
+        let addr = self.0;
+        fmt::LowerHex::fmt(&addr, f)
     }
 }
 

@@ -35,6 +35,7 @@ mod addr;
 mod geometry;
 pub mod hash;
 mod layout;
+mod paged;
 mod placement;
 mod rng;
 
@@ -42,5 +43,6 @@ pub use addr::{Addr, BlockAddr, NodeId, PageAddr, Pc};
 pub use geometry::Geometry;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use layout::ArrayLayout;
+pub use paged::PagedMap;
 pub use placement::PagePlacement;
 pub use rng::{RandValue, SplitMix64};

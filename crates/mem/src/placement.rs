@@ -54,7 +54,16 @@ impl PagePlacement {
     pub fn home_of(self, page: PageAddr) -> NodeId {
         match self {
             PagePlacement::RoundRobin { nodes } => {
-                NodeId::new((page.as_u64() % u64::from(nodes)) as u16)
+                // This sits on the miss path (every coherence request routes
+                // through it); node counts are powers of two in practice, so
+                // take the mask instead of a 64-bit division when possible.
+                let n = u64::from(nodes);
+                let home = if n.is_power_of_two() {
+                    page.as_u64() & (n - 1)
+                } else {
+                    page.as_u64() % n
+                };
+                NodeId::new(home as u16)
             }
             PagePlacement::Fixed { node } => node,
         }

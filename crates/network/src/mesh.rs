@@ -93,6 +93,12 @@ pub struct Mesh {
     /// in-order point-to-point delivery the coherence protocol relies on
     /// would break when a node is its own home.
     loopback: Vec<Cycle>,
+    /// Flattened dimension-ordered routes: the link indices for the route
+    /// from `a` to `b` are `route_links[route_offsets[a*nodes+b]..
+    /// route_offsets[a*nodes+b+1]]`. Routes are static, so `send` walks a
+    /// precomputed link list instead of re-deriving coordinates per hop.
+    route_offsets: Vec<u32>,
+    route_links: Vec<u32>,
     stats: NetStats,
 }
 
@@ -107,10 +113,38 @@ impl Mesh {
             config.width > 0 && config.height > 0,
             "mesh dimensions must be nonzero"
         );
+        let nodes = config.nodes() as usize;
+        let mut route_offsets = Vec::with_capacity(nodes * nodes + 1);
+        let mut route_links = Vec::new();
+        route_offsets.push(0u32);
+        for from in 0..nodes as u16 {
+            for to in 0..nodes as u16 {
+                let (mut x, mut y) = (from % config.width, from / config.width);
+                let (tx, ty) = (to % config.width, to / config.width);
+                while (x, y) != (tx, ty) {
+                    let (dir, nx, ny) = if x < tx {
+                        (Dir::East, x + 1, y)
+                    } else if x > tx {
+                        (Dir::West, x - 1, y)
+                    } else if y < ty {
+                        (Dir::South, x, y + 1)
+                    } else {
+                        (Dir::North, x, y - 1)
+                    };
+                    let node = u32::from(y * config.width + x);
+                    route_links.push(node * 4 + dir.index() as u32);
+                    x = nx;
+                    y = ny;
+                }
+                route_offsets.push(route_links.len() as u32);
+            }
+        }
         Mesh {
             config,
-            links: vec![FifoServer::new(); config.nodes() as usize * 4],
-            loopback: vec![Cycle::ZERO; config.nodes() as usize],
+            links: vec![FifoServer::new(); nodes * 4],
+            loopback: vec![Cycle::ZERO; nodes],
+            route_offsets,
+            route_links,
             stats: NetStats::default(),
         }
     }
@@ -128,10 +162,6 @@ impl Mesh {
     fn coords(&self, node: NodeId) -> (u16, u16) {
         let i = node.as_u16();
         (i % self.config.width, i / self.config.width)
-    }
-
-    fn link_mut(&mut self, node: u16, dir: Dir) -> &mut FifoServer {
-        &mut self.links[node as usize * 4 + dir.index()]
     }
 
     /// Number of hops on the dimension-ordered route from `from` to `to`.
@@ -166,35 +196,22 @@ impl Mesh {
         }
 
         let fall_through = self.config.fall_through;
-        let (mut x, mut y) = self.coords(from);
-        let (tx, ty) = self.coords(to);
+        let r = from.index() * self.config.nodes() as usize + to.index();
+        let route =
+            &self.route_links[self.route_offsets[r] as usize..self.route_offsets[r + 1] as usize];
         let mut head = now;
-        let mut hops = 0u64;
 
-        while (x, y) != (tx, ty) {
-            let (dir, nx, ny) = if x < tx {
-                (Dir::East, x + 1, y)
-            } else if x > tx {
-                (Dir::West, x - 1, y)
-            } else if y < ty {
-                (Dir::South, x, y + 1)
-            } else {
-                (Dir::North, x, y - 1)
-            };
-            let node = y * self.config.width + x;
-            let (start, _done) = self.link_mut(node, dir).serve_timed(head, flits);
+        for &link in route {
+            let (start, _done) = self.links[link as usize].serve_timed(head, flits);
             self.stats.queuing_cycles += start - head;
             // The head flit reaches the next router after the fall-through;
             // the link stays busy while the body streams behind it.
             head = start + fall_through;
-            x = nx;
-            y = ny;
-            hops += 1;
         }
 
         self.stats.messages += 1;
         self.stats.flits += flits;
-        self.stats.flit_hops += flits * hops;
+        self.stats.flit_hops += flits * route.len() as u64;
         // The tail arrives `flits` cycles after the head starts draining
         // into the destination.
         head + flits

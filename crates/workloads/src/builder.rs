@@ -2,6 +2,7 @@
 
 use pfsim_mem::{Addr, ArrayLayout, Geometry, Pc};
 
+use crate::packed::{PackedLane, PackedTrace};
 use crate::{Op, TraceWorkload};
 
 /// Accumulates per-processor operation streams plus the shared data layout.
@@ -30,7 +31,7 @@ use crate::{Op, TraceWorkload};
 #[derive(Debug, Clone)]
 pub struct TraceBuilder {
     name: String,
-    traces: Vec<Vec<Op>>,
+    lanes: Vec<PackedLane>,
     layout: ArrayLayout,
     next_pc: u32,
     next_barrier: u32,
@@ -41,7 +42,7 @@ impl TraceBuilder {
     pub fn new(name: impl Into<String>, cpus: usize) -> Self {
         TraceBuilder {
             name: name.into(),
-            traces: vec![Vec::new(); cpus],
+            lanes: vec![PackedLane::default(); cpus],
             layout: ArrayLayout::new(Geometry::paper()),
             // Leave low "text addresses" for manually chosen PCs.
             next_pc: 0x0010_0000,
@@ -51,7 +52,7 @@ impl TraceBuilder {
 
     /// Number of processors.
     pub fn cpus(&self) -> usize {
-        self.traces.len()
+        self.lanes.len()
     }
 
     /// Allocates a page-aligned shared region of `count` × `element_bytes`.
@@ -81,50 +82,56 @@ impl TraceBuilder {
 
     /// Emits a load on `cpu`.
     pub fn read(&mut self, cpu: usize, addr: Addr, pc: Pc) {
-        self.traces[cpu].push(Op::Read { addr, pc });
+        self.lanes[cpu].push(Op::Read { addr, pc });
     }
 
     /// Emits a store on `cpu`.
     pub fn write(&mut self, cpu: usize, addr: Addr, pc: Pc) {
-        self.traces[cpu].push(Op::Write { addr, pc });
+        self.lanes[cpu].push(Op::Write { addr, pc });
     }
 
     /// Emits local computation on `cpu`. Zero-cycle computes are dropped;
-    /// consecutive computes coalesce to keep traces compact.
+    /// consecutive computes coalesce to keep traces compact (and to keep
+    /// `total_ops` an honest issue count).
     pub fn compute(&mut self, cpu: usize, cycles: u32) {
-        if cycles == 0 {
-            return;
-        }
-        if let Some(Op::Compute { cycles: prev }) = self.traces[cpu].last_mut() {
-            *prev = prev.saturating_add(cycles);
-            return;
-        }
-        self.traces[cpu].push(Op::Compute { cycles });
+        self.lanes[cpu].push(Op::Compute { cycles });
     }
 
     /// Emits a lock acquire on `cpu`.
     pub fn acquire(&mut self, cpu: usize, lock: Addr) {
-        self.traces[cpu].push(Op::Acquire { lock });
+        self.lanes[cpu].push(Op::Acquire { lock });
     }
 
     /// Emits a lock release on `cpu`.
     pub fn release(&mut self, cpu: usize, lock: Addr) {
-        self.traces[cpu].push(Op::Release { lock });
+        self.lanes[cpu].push(Op::Release { lock });
     }
 
     /// Emits a barrier across *all* processors and returns its id.
     pub fn barrier_all(&mut self) -> u32 {
         let id = self.next_barrier;
         self.next_barrier += 1;
-        for trace in &mut self.traces {
-            trace.push(Op::Barrier { id });
+        for lane in &mut self.lanes {
+            lane.push(Op::Barrier { id });
         }
         id
     }
 
-    /// Finalizes the builder into a replayable workload.
+    /// Finalizes the builder into the packed shared-trace encoding.
+    ///
+    /// This is the zero-copy path: wrap the result in an `Arc` and replay
+    /// it through any number of [`TraceCursor`](crate::TraceCursor)s.
+    pub fn finish_packed(self) -> PackedTrace {
+        PackedTrace::from_lanes(self.name, self.lanes)
+    }
+
+    /// Finalizes the builder into a fully materialized workload.
+    ///
+    /// Decodes the packed streams the builder accumulates, so it yields
+    /// exactly the op sequence [`finish_packed`](Self::finish_packed)
+    /// replays — the differential-determinism tests rely on that.
     pub fn finish(self) -> TraceWorkload {
-        TraceWorkload::new(self.name, self.traces)
+        self.finish_packed().materialize()
     }
 }
 

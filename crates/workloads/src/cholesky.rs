@@ -12,7 +12,7 @@
 
 use pfsim_mem::SplitMix64;
 
-use crate::{TraceBuilder, TraceWorkload};
+use crate::{PackedTrace, TraceBuilder, TraceWorkload};
 
 /// Problem-size parameters for Cholesky.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +80,17 @@ impl CholeskyParams {
 ///
 /// Panics if any dimension parameter is zero or `min_height > max_height`.
 pub fn build(params: CholeskyParams) -> TraceWorkload {
+    emit(params).finish()
+}
+
+/// Builds the same workload in the packed shared-trace encoding,
+/// ready to wrap in an `Arc` and replay across many runs (see
+/// [`build`]).
+pub fn build_packed(params: CholeskyParams) -> PackedTrace {
+    emit(params).finish_packed()
+}
+
+fn emit(params: CholeskyParams) -> TraceBuilder {
     let CholeskyParams {
         columns,
         min_height,
@@ -168,7 +179,7 @@ pub fn build(params: CholeskyParams) -> TraceWorkload {
             b.barrier_all();
         }
     }
-    b.finish()
+    b
 }
 
 #[cfg(test)]

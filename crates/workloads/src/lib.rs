@@ -32,6 +32,7 @@
 
 mod builder;
 mod op;
+mod packed;
 mod stats;
 
 pub mod cholesky;
@@ -44,7 +45,8 @@ pub mod water;
 
 pub use builder::TraceBuilder;
 pub use op::{Op, TraceWorkload, Workload};
-pub use stats::{trace_stats, TraceStats};
+pub use packed::{OpIter, PackedTrace, TraceCursor};
+pub use stats::{packed_stats, trace_stats, TraceStats};
 
 /// The six applications of the paper's evaluation, in its presentation
 /// order.
@@ -120,6 +122,42 @@ impl App {
             App::Lu => lu::build(lu::LuParams::large()),
             App::Ocean => ocean::build(ocean::OceanParams::large()),
             App::Pthor => pthor::build(pthor::PthorParams::paper()),
+        }
+    }
+
+    /// Packed counterpart of [`build_default`](Self::build_default).
+    pub fn build_default_packed(self) -> PackedTrace {
+        match self {
+            App::Mp3d => mp3d::build_packed(Default::default()),
+            App::Cholesky => cholesky::build_packed(Default::default()),
+            App::Water => water::build_packed(Default::default()),
+            App::Lu => lu::build_packed(Default::default()),
+            App::Ocean => ocean::build_packed(Default::default()),
+            App::Pthor => pthor::build_packed(Default::default()),
+        }
+    }
+
+    /// Packed counterpart of [`build_paper`](Self::build_paper).
+    pub fn build_paper_packed(self) -> PackedTrace {
+        match self {
+            App::Mp3d => mp3d::build_packed(mp3d::Mp3dParams::paper()),
+            App::Cholesky => cholesky::build_packed(cholesky::CholeskyParams::paper()),
+            App::Water => water::build_packed(water::WaterParams::paper()),
+            App::Lu => lu::build_packed(lu::LuParams::paper()),
+            App::Ocean => ocean::build_packed(ocean::OceanParams::paper()),
+            App::Pthor => pthor::build_packed(pthor::PthorParams::paper()),
+        }
+    }
+
+    /// Packed counterpart of [`build_large`](Self::build_large).
+    pub fn build_large_packed(self) -> PackedTrace {
+        match self {
+            App::Mp3d => mp3d::build_packed(mp3d::Mp3dParams::large()),
+            App::Cholesky => cholesky::build_packed(cholesky::CholeskyParams::large()),
+            App::Water => water::build_packed(water::WaterParams::large()),
+            App::Lu => lu::build_packed(lu::LuParams::large()),
+            App::Ocean => ocean::build_packed(ocean::OceanParams::large()),
+            App::Pthor => pthor::build_packed(pthor::PthorParams::paper()),
         }
     }
 }

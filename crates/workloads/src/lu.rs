@@ -11,7 +11,7 @@
 //! measures 93% of LU's misses inside stride sequences with dominant
 //! stride 1 and an average sequence length of ~17 (Table 2).
 
-use crate::{TraceBuilder, TraceWorkload};
+use crate::{PackedTrace, TraceBuilder, TraceWorkload};
 
 /// Problem-size parameters for LU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +47,17 @@ impl LuParams {
 ///
 /// Panics if `n` or `cpus` is zero.
 pub fn build(params: LuParams) -> TraceWorkload {
+    emit(params).finish()
+}
+
+/// Builds the same workload in the packed shared-trace encoding,
+/// ready to wrap in an `Arc` and replay across many runs (see
+/// [`build`]).
+pub fn build_packed(params: LuParams) -> PackedTrace {
+    emit(params).finish_packed()
+}
+
+fn emit(params: LuParams) -> TraceBuilder {
     let LuParams { n, cpus } = params;
     assert!(n > 0 && cpus > 0, "LU needs a matrix and processors");
 
@@ -94,7 +105,7 @@ pub fn build(params: LuParams) -> TraceWorkload {
         }
         b.barrier_all();
     }
-    b.finish()
+    b
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 
 use pfsim_mem::SplitMix64;
 
-use crate::{TraceBuilder, TraceWorkload};
+use crate::{PackedTrace, TraceBuilder, TraceWorkload};
 
 /// Size of one particle record in bytes.
 pub const PARTICLE_BYTES: u64 = 24;
@@ -81,6 +81,17 @@ impl Mp3dParams {
 ///
 /// Panics if there are fewer particles than processors.
 pub fn build(params: Mp3dParams) -> TraceWorkload {
+    emit(params).finish()
+}
+
+/// Builds the same workload in the packed shared-trace encoding,
+/// ready to wrap in an `Arc` and replay across many runs (see
+/// [`build`]).
+pub fn build_packed(params: Mp3dParams) -> PackedTrace {
+    emit(params).finish_packed()
+}
+
+fn emit(params: Mp3dParams) -> TraceBuilder {
     let Mp3dParams {
         particles,
         cells,
@@ -179,7 +190,7 @@ pub fn build(params: Mp3dParams) -> TraceWorkload {
         }
         b.barrier_all();
     }
-    b.finish()
+    b
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! solver loops), which bounds the average sequence length the way the
 //! multi-level solver structure does in the original program.
 
-use crate::{TraceBuilder, TraceWorkload};
+use crate::{PackedTrace, TraceBuilder, TraceWorkload};
 
 /// Default row pitch in doubles (65 blocks of 32 bytes), matching the
 /// paper's 128×128 layout.
@@ -85,6 +85,17 @@ impl OceanParams {
 /// Panics if `cpus` is not a perfect square or the grid does not divide
 /// evenly among processors.
 pub fn build(params: OceanParams) -> TraceWorkload {
+    emit(params).finish()
+}
+
+/// Builds the same workload in the packed shared-trace encoding,
+/// ready to wrap in an `Arc` and replay across many runs (see
+/// [`build`]).
+pub fn build_packed(params: OceanParams) -> PackedTrace {
+    emit(params).finish_packed()
+}
+
+fn emit(params: OceanParams) -> TraceBuilder {
     let OceanParams {
         n,
         iterations,
@@ -222,7 +233,7 @@ pub fn build(params: OceanParams) -> TraceWorkload {
         }
         b.barrier_all();
     }
-    b.finish()
+    b
 }
 
 #[cfg(test)]

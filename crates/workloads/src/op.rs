@@ -48,6 +48,12 @@ pub enum Op {
     },
 }
 
+// `Op` sits on the simulator's per-op consume path and (when
+// materialized) dominates trace memory, so it must stay at 16 bytes:
+// 4-byte discriminant + packed-to-4 `Addr` + `Pc`. If this fires, a
+// payload grew or `Addr` lost its `repr(packed(4))`.
+const _: () = assert!(std::mem::size_of::<Op>() <= 16);
+
 /// A per-processor stream of operations.
 ///
 /// The full-system simulator pulls operations with [`next`](Self::next);
@@ -65,6 +71,10 @@ pub trait Workload {
 
     /// Workload name for reports.
     fn name(&self) -> &str;
+
+    /// Total operations across all processors (consumed or not), for
+    /// throughput reporting.
+    fn total_ops(&self) -> usize;
 }
 
 /// A fully materialized trace: one operation vector per processor.
@@ -144,6 +154,10 @@ impl Workload for TraceWorkload {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn total_ops(&self) -> usize {
+        self.traces.iter().map(Vec::len).sum()
     }
 }
 

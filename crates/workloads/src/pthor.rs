@@ -12,7 +12,7 @@
 
 use pfsim_mem::SplitMix64;
 
-use crate::{TraceBuilder, TraceWorkload};
+use crate::{PackedTrace, TraceBuilder, TraceWorkload};
 
 /// Size of one circuit-element record in bytes (one cache block).
 pub const ELEMENT_BYTES: u64 = 32;
@@ -61,6 +61,17 @@ impl PthorParams {
 ///
 /// Panics if any parameter is zero.
 pub fn build(params: PthorParams) -> TraceWorkload {
+    emit(params).finish()
+}
+
+/// Builds the same workload in the packed shared-trace encoding,
+/// ready to wrap in an `Arc` and replay across many runs (see
+/// [`build`]).
+pub fn build_packed(params: PthorParams) -> PackedTrace {
+    emit(params).finish_packed()
+}
+
+fn emit(params: PthorParams) -> TraceBuilder {
     let PthorParams {
         elements,
         tasks_per_cpu,
@@ -135,7 +146,7 @@ pub fn build(params: PthorParams) -> TraceWorkload {
             cursors[p] = succ.wrapping_add(rng.random_range(0..7));
         }
     }
-    b.finish()
+    b
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use pfsim_mem::Geometry;
 
-use crate::{Op, TraceWorkload, Workload as _};
+use crate::{Op, PackedTrace, TraceWorkload, Workload as _};
 
 /// Operation mix and sharing profile of one workload.
 ///
@@ -60,18 +60,35 @@ impl TraceStats {
     }
 }
 
-/// Computes the static statistics of `workload` (32-byte blocks).
+/// Computes the static statistics of a materialized `workload`.
 pub fn trace_stats(workload: &TraceWorkload) -> TraceStats {
+    stats_over(workload.num_cpus(), |cpu| {
+        workload.trace(cpu).iter().copied()
+    })
+}
+
+/// Computes the static statistics of a packed trace without
+/// materializing it: ops are decoded on the fly through the borrowed
+/// [`iter_cpu`](PackedTrace::iter_cpu) view.
+pub fn packed_stats(trace: &PackedTrace) -> TraceStats {
+    stats_over(trace.num_cpus(), |cpu| trace.iter_cpu(cpu))
+}
+
+/// Shared accumulator over per-CPU op streams (32-byte blocks).
+fn stats_over<I>(num_cpus: usize, lane: impl Fn(usize) -> I) -> TraceStats
+where
+    I: Iterator<Item = Op>,
+{
     let g = Geometry::paper();
     let mut stats = TraceStats::default();
     // block -> (reader/writer bitmask by cpu, written bitmask)
     let mut touched: HashMap<u64, (u32, u32)> = HashMap::new();
     let mut pcs: std::collections::HashSet<u32> = std::collections::HashSet::new();
 
-    for cpu in 0..workload.num_cpus() {
+    for cpu in 0..num_cpus {
         let bit = 1u32 << cpu.min(31);
-        for op in workload.trace(cpu) {
-            match *op {
+        for op in lane(cpu) {
+            match op {
                 Op::Read { addr, pc } => {
                     stats.reads += 1;
                     pcs.insert(pc.as_u32());
@@ -111,6 +128,18 @@ pub fn trace_stats(workload: &TraceWorkload) -> TraceStats {
 mod tests {
     use super::*;
     use crate::micro;
+
+    #[test]
+    fn packed_stats_match_materialized_stats() {
+        for app in crate::App::ALL {
+            let packed = app.build_default_packed();
+            assert_eq!(
+                packed_stats(&packed),
+                trace_stats(&packed.materialize()),
+                "{app}"
+            );
+        }
+    }
 
     #[test]
     fn private_walks_share_nothing() {

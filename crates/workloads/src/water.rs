@@ -16,7 +16,7 @@
 
 use pfsim_mem::SplitMix64;
 
-use crate::{TraceBuilder, TraceWorkload};
+use crate::{PackedTrace, TraceBuilder, TraceWorkload};
 
 /// Size of one molecule record in bytes: 21 cache blocks.
 pub const MOLECULE_BYTES: u64 = 672;
@@ -76,6 +76,17 @@ impl WaterParams {
 ///
 /// Panics if there are fewer molecules than processors.
 pub fn build(params: WaterParams) -> TraceWorkload {
+    emit(params).finish()
+}
+
+/// Builds the same workload in the packed shared-trace encoding,
+/// ready to wrap in an `Arc` and replay across many runs (see
+/// [`build`]).
+pub fn build_packed(params: WaterParams) -> PackedTrace {
+    emit(params).finish_packed()
+}
+
+fn emit(params: WaterParams) -> TraceBuilder {
     let WaterParams {
         molecules,
         steps,
@@ -212,7 +223,7 @@ pub fn build(params: WaterParams) -> TraceWorkload {
         }
         b.barrier_all();
     }
-    b.finish()
+    b
 }
 
 #[cfg(test)]

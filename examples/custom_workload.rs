@@ -58,7 +58,7 @@ fn main() {
         pipeline(512),
     );
     let base = sys.run();
-    let ch = characterize(&base.miss_events(1));
+    let ch = characterize(base.miss_events(1));
     println!("consumer 1 characterization (the paper's Table 2 metrics):");
     println!(
         "  {:.0}% of misses in stride sequences, avg length {:.1}, dominant stride {}",

@@ -28,9 +28,12 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> packed-trace replay determinism"
+cargo test -q -p pfsim-bench --release --offline --test packed_replay
+
 if [[ "$run_perf" == 1 ]]; then
-    echo "==> perfsmoke"
-    ./target/release/perfsmoke --label ci
+    echo "==> perfsmoke (throughput + packed pclock/bytes-per-op sanity)"
+    ./target/release/perfsmoke --label ci --check
 fi
 
 echo "==> CI gate passed"

@@ -29,10 +29,12 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 mod metrics;
 mod stride;
 mod table;
 
+pub use json::Json;
 pub use metrics::{compare, RunMetrics, SchemeComparison};
 pub use stride::{characterize, Characterization, MissEvent};
 pub use table::TextTable;

@@ -8,14 +8,29 @@
 //!
 //! Usage: `cargo run -p pfsim-bench --bin ablation_adaptive --release`
 
-use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{cursor, metrics_of, run_logged, Size};
+use pfsim_bench::{metrics_of, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
+    let run = ExperimentSpec::new("ablation_adaptive")
+        .size(Size::from_args())
+        .apps(App::ALL)
+        .baseline_and(&[
+            Scheme::Sequential { degree: 1 },
+            Scheme::AdaptiveSequential {
+                initial_degree: 1,
+                max_degree: 8,
+            },
+            // Hagersten's adaptive lookahead on the D-detection scheme (§6).
+            Scheme::DDetectionAdaptive {
+                degree: 1,
+                max_depth: 8,
+            },
+        ])
+        .run();
+
     let mut table = TextTable::new(vec![
         "".into(),
         "Seq misses".into(),
@@ -28,40 +43,19 @@ fn main() {
         "Ddet-ad stall".into(),
     ]);
 
-    for app in App::ALL {
-        let base = metrics_of(&run_logged(
-            &format!("{app} baseline"),
-            SystemConfig::paper_baseline(),
-            cursor(app, size),
-        ));
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let [base_cell, seq_cell, adapt_cell, dda_cell] = cells else {
+            unreachable!()
+        };
+        let base = metrics_of(&base_cell.result);
         let mut row = vec![app.name().to_string()];
-        for scheme in [
-            Scheme::Sequential { degree: 1 },
-            Scheme::AdaptiveSequential {
-                initial_degree: 1,
-                max_degree: 8,
-            },
-        ] {
-            let run = metrics_of(&run_logged(
-                &format!("{app} {scheme}"),
-                SystemConfig::paper_baseline().with_scheme(scheme),
-                cursor(app, size),
-            ));
-            let c = compare(&base, &run);
+        for cell in [seq_cell, adapt_cell] {
+            let c = compare(&base, &metrics_of(&cell.result));
             row.push(format!("{:.2}", c.relative_misses));
             row.push(format!("{:.2}", c.efficiency));
             row.push(format!("{:.2}", c.relative_traffic));
         }
-        // Hagersten's adaptive lookahead on the D-detection scheme (§6).
-        let dda = metrics_of(&run_logged(
-            &format!("{app} D-det-adapt"),
-            SystemConfig::paper_baseline().with_scheme(Scheme::DDetectionAdaptive {
-                degree: 1,
-                max_depth: 8,
-            }),
-            cursor(app, size),
-        ));
-        let c = compare(&base, &dda);
+        let c = compare(&base, &metrics_of(&dda_cell.result));
         row.push(format!("{:.2}", c.relative_misses));
         row.push(format!("{:.2}", c.relative_stall));
         table.row(row);
@@ -71,4 +65,7 @@ fn main() {
     println!("Expectation: the adaptive scheme recovers most of fixed-Seq's miss");
     println!("reduction while cutting the useless-prefetch traffic on the");
     println!("low-locality applications (MP3D, Ocean, PTHOR).");
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

@@ -11,16 +11,36 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{cursor, metrics_of, run_logged, Size};
+use pfsim_bench::{metrics_of, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
-    let apps = [App::Water, App::Ocean, App::Mp3d];
     let blocks = [32u64, 64, 128];
+    let schemes = [
+        Scheme::None,
+        Scheme::IDetection { degree: 1 },
+        Scheme::Sequential { degree: 1 },
+    ];
 
-    for app in apps {
+    // Per app: 3 block sizes × (baseline + 2 schemes) = 9 cells.
+    let mut spec = ExperimentSpec::new("ablation_block")
+        .size(Size::from_args())
+        .apps([App::Water, App::Ocean, App::Mp3d]);
+    for bs in blocks {
+        for scheme in schemes {
+            spec = spec.variant(
+                format!("{bs}B {scheme}"),
+                SystemConfig::builder()
+                    .block_bytes(bs)
+                    .scheme(scheme)
+                    .build(),
+            );
+        }
+    }
+    let run = spec.run();
+
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
         let mut table = TextTable::new(vec![
             "block".into(),
             "baseline misses".into(),
@@ -28,33 +48,15 @@ fn main() {
             "Seq rel misses".into(),
             "Seq rel traffic".into(),
         ]);
-        for bs in blocks {
-            let cfg = |scheme| {
-                SystemConfig::paper_baseline()
-                    .with_block_bytes(bs)
-                    .with_scheme(scheme)
-            };
-            let base = metrics_of(&run_logged(
-                &format!("{app} {bs}B baseline"),
-                cfg(Scheme::None),
-                cursor(app, size),
-            ));
+        for (bs, group) in blocks.into_iter().zip(cells.chunks(schemes.len())) {
+            let (base_cell, scheme_cells) = group.split_first().expect("baseline present");
+            let base = metrics_of(&base_cell.result);
             let mut row = vec![format!("{bs}B"), format!("{}", base.read_misses)];
             let mut seq_traffic = String::new();
-            for scheme in [
-                Scheme::IDetection { degree: 1 },
-                Scheme::Sequential { degree: 1 },
-            ] {
-                let run = metrics_of(&run_logged(
-                    &format!("{app} {bs}B {scheme}"),
-                    cfg(scheme),
-                    cursor(app, size),
-                ));
-                let c = compare(&base, &run);
+            for cell in scheme_cells {
+                let c = compare(&base, &metrics_of(&cell.result));
                 row.push(format!("{:.2}", c.relative_misses));
-                if matches!(scheme, Scheme::Sequential { .. }) {
-                    seq_traffic = format!("{:.2}", c.relative_traffic);
-                }
+                seq_traffic = format!("{:.2}", c.relative_traffic);
             }
             row.push(seq_traffic);
             table.row(row);
@@ -71,4 +73,7 @@ fn main() {
     println!("on block boundaries and the baselines include false-sharing");
     println!("misses that no prefetcher can remove — part of why both schemes'");
     println!("relative numbers drift toward 1.0 at larger blocks.");
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

@@ -10,12 +10,35 @@
 
 use pfsim::{ConsistencyModel, SystemConfig};
 use pfsim_analysis::TextTable;
-use pfsim_bench::{cursor, metrics_of, run_logged, Size};
+use pfsim_bench::{metrics_of, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
+    let variant = |consistency, scheme| {
+        SystemConfig::builder()
+            .consistency(consistency)
+            .scheme(scheme)
+            .build()
+    };
+    let run = ExperimentSpec::new("ablation_consistency")
+        .size(Size::from_args())
+        .apps(App::ALL)
+        .variant("RC", variant(ConsistencyModel::Release, Scheme::None))
+        .variant("SC", variant(ConsistencyModel::Sequential, Scheme::None))
+        .variant(
+            "RC+Seq",
+            variant(ConsistencyModel::Release, Scheme::Sequential { degree: 1 }),
+        )
+        .variant(
+            "SC+Seq",
+            variant(
+                ConsistencyModel::Sequential,
+                Scheme::Sequential { degree: 1 },
+            ),
+        )
+        .run();
+
     let mut table = TextTable::new(vec![
         "".into(),
         "RC exec".into(),
@@ -26,28 +49,15 @@ fn main() {
         "Seq gain (SC)".into(),
     ]);
 
-    for app in App::ALL {
-        let run = |consistency, scheme| {
-            run_logged(
-                &format!("{app} {consistency:?} {scheme}"),
-                SystemConfig::paper_baseline()
-                    .with_consistency(consistency)
-                    .with_scheme(scheme),
-                cursor(app, size),
-            )
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let [rc_cell, sc_cell, rc_seq_cell, sc_seq_cell] = cells else {
+            unreachable!()
         };
-        let rc = metrics_of(&run(ConsistencyModel::Release, Scheme::None));
-        let sc_result = run(ConsistencyModel::Sequential, Scheme::None);
-        let write_stall = sc_result.total(|n| n.write_stall);
-        let sc = metrics_of(&sc_result);
-        let rc_seq = metrics_of(&run(
-            ConsistencyModel::Release,
-            Scheme::Sequential { degree: 1 },
-        ));
-        let sc_seq = metrics_of(&run(
-            ConsistencyModel::Sequential,
-            Scheme::Sequential { degree: 1 },
-        ));
+        let rc = metrics_of(&rc_cell.result);
+        let sc = metrics_of(&sc_cell.result);
+        let write_stall = sc_cell.result.total(|n| n.write_stall);
+        let rc_seq = metrics_of(&rc_seq_cell.result);
+        let sc_seq = metrics_of(&sc_seq_cell.result);
         table.row(vec![
             app.name().into(),
             format!("{}", rc.exec_cycles),
@@ -66,4 +76,7 @@ fn main() {
     println!("{}", table.render());
     println!("Expectation (§1): release consistency hides write latency, so SC/RC");
     println!("exceeds 1.0 everywhere and read prefetching is the remaining lever.");
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

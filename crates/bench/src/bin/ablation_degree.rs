@@ -10,42 +10,35 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{cursor, metrics_of, par_map, run_logged, Size};
+use pfsim_bench::{metrics_of, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
-    let apps = [App::Lu, App::Ocean, App::Mp3d];
     let degrees = [1u32, 2, 4, 8];
 
-    // Per app: 1 baseline + 8 scheme runs, all independent — fan the
-    // whole 27-run sweep out and reassemble tables from in-order chunks.
-    let jobs: Vec<(App, Option<Scheme>)> = apps
-        .into_iter()
-        .flat_map(|app| {
-            std::iter::once((app, None)).chain(degrees.into_iter().flat_map(move |d| {
-                [
-                    (app, Some(Scheme::IDetection { degree: d })),
-                    (app, Some(Scheme::Sequential { degree: d })),
-                ]
-            }))
-        })
-        .collect();
-    let results = par_map(jobs, |(app, scheme)| {
-        let (label, cfg) = match scheme {
-            None => (format!("{app} baseline"), SystemConfig::paper_baseline()),
-            Some(s) => (
-                format!("{app} {s}"),
-                SystemConfig::paper_baseline().with_scheme(s),
-            ),
-        };
-        metrics_of(&run_logged(&label, cfg, cursor(app, size)))
-    });
+    // Per app: 1 baseline + 8 scheme runs, all independent — the runner
+    // fans the whole 27-cell grid out across cores.
+    let mut spec = ExperimentSpec::new("ablation_degree")
+        .size(Size::from_args())
+        .apps([App::Lu, App::Ocean, App::Mp3d])
+        .variant("baseline", SystemConfig::paper_baseline());
+    for d in degrees {
+        for scheme in [
+            Scheme::IDetection { degree: d },
+            Scheme::Sequential { degree: d },
+        ] {
+            spec = spec.variant(
+                scheme.to_string(),
+                SystemConfig::builder().scheme(scheme).build(),
+            );
+        }
+    }
+    let run = spec.run();
 
-    let runs_per_app = 1 + 2 * degrees.len();
-    for (app, runs) in apps.into_iter().zip(results.chunks(runs_per_app)) {
-        let (base, scheme_runs) = runs.split_first().expect("baseline present");
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let (base_cell, scheme_cells) = cells.split_first().expect("baseline present");
+        let base = metrics_of(&base_cell.result);
         let mut table = TextTable::new(vec![
             "d".into(),
             "I-det misses".into(),
@@ -55,10 +48,10 @@ fn main() {
             "Seq stall".into(),
             "Seq eff".into(),
         ]);
-        for (d, pair) in degrees.into_iter().zip(scheme_runs.chunks(2)) {
+        for (d, pair) in degrees.into_iter().zip(scheme_cells.chunks(2)) {
             let mut row = vec![format!("{d}")];
-            for run in pair {
-                let c = compare(base, run);
+            for cell in pair {
+                let c = compare(&base, &metrics_of(&cell.result));
                 row.push(format!("{:.2}", c.relative_misses));
                 row.push(format!("{:.2}", c.relative_stall));
                 row.push(format!("{:.2}", c.efficiency));
@@ -68,4 +61,7 @@ fn main() {
         println!("Degree-of-prefetching sweep: {app} (relative to baseline)");
         println!("{}", table.render());
     }
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

@@ -12,42 +12,36 @@
 //!
 //! Usage: `cargo run -p pfsim-bench --bin ablation_detection --release`
 
-use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{cursor, metrics_of, run_logged, Size};
+use pfsim_bench::{metrics_of, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
-    let schemes = [
-        Scheme::SimpleStride { degree: 1 },
-        Scheme::IDetection { degree: 1 },
-        Scheme::DDetection { degree: 1 },
-    ];
+    let run = ExperimentSpec::new("ablation_detection")
+        .size(Size::from_args())
+        .apps(App::ALL)
+        .baseline_and(&[
+            Scheme::SimpleStride { degree: 1 },
+            Scheme::IDetection { degree: 1 },
+            Scheme::DDetection { degree: 1 },
+        ])
+        .run();
 
     let mut misses = TextTable::new(headers());
     let mut eff = TextTable::new(headers());
     let mut traffic = TextTable::new(headers());
 
-    for app in App::ALL {
-        let base = metrics_of(&run_logged(
-            &format!("{app} baseline"),
-            SystemConfig::paper_baseline(),
-            cursor(app, size),
-        ));
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let (base_cell, scheme_cells) = cells.split_first().expect("baseline present");
+        let base = metrics_of(&base_cell.result);
         let mut rows = [
             vec![app.name().to_string()],
             vec![app.name().to_string()],
             vec![app.name().to_string()],
         ];
-        for scheme in schemes {
-            let run = metrics_of(&run_logged(
-                &format!("{app} {scheme}"),
-                SystemConfig::paper_baseline().with_scheme(scheme),
-                cursor(app, size),
-            ));
-            let c = compare(&base, &run);
+        for cell in scheme_cells {
+            let c = compare(&base, &metrics_of(&cell.result));
             rows[0].push(format!("{:.2}", c.relative_misses));
             rows[1].push(format!("{:.2}", c.efficiency));
             rows[2].push(format!("{:.2}", c.relative_traffic));
@@ -68,6 +62,9 @@ fn main() {
     println!("(similar miss reductions on the stride applications) but issues");
     println!("many useless prefetches on MP3D and PTHOR, where the same loads");
     println!("produce non-stride address pairs.");
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }
 
 fn headers() -> Vec<String> {

@@ -9,20 +9,41 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{cursor, metrics_of, run_logged, Size};
+use pfsim_bench::{metrics_of, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
     let capacities: [(u64, &str); 4] = [
         (8 * 1024, "8K"),
         (16 * 1024, "16K"),
         (64 * 1024, "64K"),
         (0, "inf"),
     ];
+    let schemes = [
+        Scheme::None,
+        Scheme::IDetection { degree: 1 },
+        Scheme::Sequential { degree: 1 },
+    ];
 
-    for app in App::ALL {
+    // Per app: 4 capacities × (baseline + 2 schemes) = 12 cells.
+    let mut spec = ExperimentSpec::new("ablation_slc")
+        .size(Size::from_args())
+        .apps(App::ALL);
+    for (bytes, label) in capacities {
+        for scheme in schemes {
+            let cfg = SystemConfig::paper_baseline().with_scheme(scheme);
+            let cfg = if bytes == 0 {
+                cfg
+            } else {
+                cfg.with_finite_slc(bytes)
+            };
+            spec = spec.variant(format!("{label} {scheme}"), cfg);
+        }
+    }
+    let run = spec.run();
+
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
         let mut table = TextTable::new(vec![
             "SLC".into(),
             "baseline misses".into(),
@@ -30,22 +51,10 @@ fn main() {
             "I-det rel misses".into(),
             "Seq rel misses".into(),
         ]);
-        for (bytes, label) in capacities {
-            let cfg = |scheme| {
-                let c = SystemConfig::paper_baseline().with_scheme(scheme);
-                if bytes == 0 {
-                    c
-                } else {
-                    c.with_finite_slc(bytes)
-                }
-            };
-            let base_run = run_logged(
-                &format!("{app} {label} baseline"),
-                cfg(Scheme::None),
-                cursor(app, size),
-            );
-            let base = metrics_of(&base_run);
-            let repl = base_run.total(|n| n.replacement_misses);
+        for ((_, label), group) in capacities.into_iter().zip(cells.chunks(schemes.len())) {
+            let (base_cell, scheme_cells) = group.split_first().expect("baseline present");
+            let base = metrics_of(&base_cell.result);
+            let repl = base_cell.result.total(|n| n.replacement_misses);
             let mut row = vec![
                 label.to_string(),
                 format!("{}", base.read_misses),
@@ -54,20 +63,16 @@ fn main() {
                     100.0 * repl as f64 / base.read_misses.max(1) as f64
                 ),
             ];
-            for scheme in [
-                Scheme::IDetection { degree: 1 },
-                Scheme::Sequential { degree: 1 },
-            ] {
-                let run = metrics_of(&run_logged(
-                    &format!("{app} {label} {scheme}"),
-                    cfg(scheme),
-                    cursor(app, size),
-                ));
-                row.push(format!("{:.2}", compare(&base, &run).relative_misses));
+            for cell in scheme_cells {
+                let c = compare(&base, &metrics_of(&cell.result));
+                row.push(format!("{:.2}", c.relative_misses));
             }
             table.row(row);
         }
         println!("Finite-SLC sweep: {app}");
         println!("{}", table.render());
     }
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

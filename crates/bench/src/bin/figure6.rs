@@ -12,19 +12,21 @@
 //!
 //! Usage: `cargo run -p pfsim-bench --bin figure6 --release [-- --paper]`
 
-use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{cursor, metrics_of, par_map, run_logged, Size};
+use pfsim_bench::{metrics_of, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
-    let schemes = [
-        Scheme::IDetection { degree: 1 },
-        Scheme::DDetection { degree: 1 },
-        Scheme::Sequential { degree: 1 },
-    ];
+    let run = ExperimentSpec::new("figure6")
+        .size(Size::from_args())
+        .apps(App::ALL)
+        .baseline_and(&[
+            Scheme::IDetection { degree: 1 },
+            Scheme::DDetection { degree: 1 },
+            Scheme::Sequential { degree: 1 },
+        ])
+        .run();
 
     let mut top = TextTable::new(headers());
     let mut middle = TextTable::new(headers());
@@ -32,33 +34,15 @@ fn main() {
     let mut traffic = TextTable::new(headers());
     let mut exec = TextTable::new(headers());
 
-    // Every (app, scheme) run is independent: fan the whole grid out and
-    // reassemble rows from the in-order results (4 runs per app).
-    let jobs: Vec<(App, Option<Scheme>)> = App::ALL
-        .into_iter()
-        .flat_map(|app| {
-            std::iter::once((app, None)).chain(schemes.iter().map(move |&s| (app, Some(s))))
-        })
-        .collect();
-    let results = par_map(jobs, |(app, scheme)| {
-        let (label, cfg) = match scheme {
-            None => (format!("{app} baseline"), SystemConfig::paper_baseline()),
-            Some(s) => (
-                format!("{app} {s}"),
-                SystemConfig::paper_baseline().with_scheme(s),
-            ),
-        };
-        metrics_of(&run_logged(&label, cfg, cursor(app, size)))
-    });
-
-    for (app, runs) in App::ALL.into_iter().zip(results.chunks(1 + schemes.len())) {
-        let (base, scheme_runs) = runs.split_first().expect("baseline present");
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let (base_cell, scheme_cells) = cells.split_first().expect("baseline present");
+        let base = metrics_of(&base_cell.result);
         let mut rows = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for row in &mut rows {
             row.push(app.name().to_string());
         }
-        for run in scheme_runs {
-            let c = compare(base, run);
+        for cell in scheme_cells {
+            let c = compare(&base, &metrics_of(&cell.result));
             rows[0].push(format!("{:.2}", c.relative_misses));
             rows[1].push(format!("{:.2}", c.efficiency));
             rows[2].push(format!("{:.2}", c.relative_stall));
@@ -83,6 +67,9 @@ fn main() {
     println!("{}", traffic.render());
     println!("Execution time relative to baseline (context)");
     println!("{}", exec.render());
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }
 
 fn headers() -> Vec<String> {

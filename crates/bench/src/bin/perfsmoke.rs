@@ -2,7 +2,7 @@
 //!
 //! Runs the default-size Figure-6 workload matrix (every application,
 //! baseline plus the three degree-1 prefetching schemes) single-threaded
-//! and reports, separately:
+//! through the [`ExperimentSpec`] runner and reports, separately:
 //!
 //! * **trace generation time** — each application's packed trace is
 //!   generated exactly once (the per-process trace cache) and shared by
@@ -22,15 +22,14 @@
 //! * `--grid NAME` records the run (with the generation/simulation split
 //!   and bytes/op) in BENCH_PR2.json.
 //! * `--check` exits nonzero unless this run's total pclocks match the
-//!   ledger's recorded `seed` total (replay determinism) and the packed
-//!   encoding stays within its bytes/op budget.
-
-use std::time::Instant;
+//!   ledger's recorded `seed` total (replay determinism), the packed
+//!   encoding stays within its bytes/op budget, and the JSON run
+//!   manifest this run just emitted validates and agrees on the total.
 
 use pfsim::{System, SystemConfig};
-use pfsim_bench::{shared_trace, Size};
+use pfsim_bench::{validate_manifest, ExperimentSpec};
 use pfsim_prefetch::Scheme;
-use pfsim_workloads::{App, TraceCursor};
+use pfsim_workloads::App;
 
 /// The packed encoding's budget from the trace-subsystem design: a
 /// narrow read is 9 bytes, so the app mix must stay under 10.
@@ -41,13 +40,6 @@ fn main() {
     let grid_label = arg_value("--grid");
     let check = std::env::args().any(|a| a == "--check");
 
-    let schemes = [
-        None,
-        Some(Scheme::IDetection { degree: 1 }),
-        Some(Scheme::DDetection { degree: 1 }),
-        Some(Scheme::Sequential { degree: 1 }),
-    ];
-
     // Warm up allocator and caches with one small run (not timed).
     let _ = System::new(
         SystemConfig::paper_baseline(),
@@ -55,43 +47,39 @@ fn main() {
     )
     .run();
 
-    // Phase 1: trace generation, once per application.
-    let gen_start = Instant::now();
-    let traces: Vec<_> = App::ALL
-        .into_iter()
-        .map(|app| shared_trace(app, Size::Default))
-        .collect();
-    let gen_seconds = gen_start.elapsed().as_secs_f64();
-    let total_ops: usize = traces.iter().map(|t| t.total_ops()).sum();
-    let total_bytes: usize = traces.iter().map(|t| t.packed_bytes()).sum();
+    // The 24-cell grid: serial (stable single-threaded timing) and quiet
+    // (the point is the totals, not 24 progress lines).
+    let run = ExperimentSpec::new("perfsmoke")
+        .apps(App::ALL)
+        .baseline_and(&[
+            Scheme::IDetection { degree: 1 },
+            Scheme::DDetection { degree: 1 },
+            Scheme::Sequential { degree: 1 },
+        ])
+        .serial()
+        .quiet()
+        .run();
+
+    let gen_seconds = run.gen_seconds;
+    let sim_seconds = run.sim_seconds;
+    let total_ops: u64 = run.traces.iter().map(|t| t.ops).sum();
+    let total_bytes: u64 = run.traces.iter().map(|t| t.packed_bytes).sum();
     let bytes_per_op = total_bytes as f64 / total_ops as f64;
 
     println!(
         "trace generation: {total_ops} ops in {gen_seconds:.3}s, packed {:.1} KB = {bytes_per_op:.2} bytes/op",
         total_bytes as f64 / 1024.0
     );
-    for (app, trace) in App::ALL.into_iter().zip(&traces) {
+    for t in &run.traces {
         println!(
-            "  {app:10} {:>8} ops, {:.2} bytes/op",
-            trace.total_ops(),
-            trace.bytes_per_op()
+            "  {:10} {:>8} ops, {:.2} bytes/op",
+            t.app.name(),
+            t.ops,
+            t.bytes_per_op
         );
     }
 
-    // Phase 2: the 24-run grid, replaying shared traces through cursors.
-    let mut pclocks = 0u64;
-    let sim_start = Instant::now();
-    for trace in &traces {
-        for scheme in schemes {
-            let mut cfg = SystemConfig::paper_baseline();
-            if let Some(s) = scheme {
-                cfg = cfg.with_scheme(s);
-            }
-            let r = System::new(cfg, TraceCursor::new(trace.clone())).run();
-            pclocks += r.exec_cycles;
-        }
-    }
-    let sim_seconds = sim_start.elapsed().as_secs_f64();
+    let pclocks = run.total_pclocks();
     let seconds = gen_seconds + sim_seconds;
     let rate = pclocks as f64 / seconds;
 
@@ -128,6 +116,9 @@ fn main() {
         println!("grid ledger: {path}");
     }
 
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
+
     if check {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
         let entries = read_entries(path);
@@ -147,8 +138,23 @@ fn main() {
             );
             std::process::exit(1);
         }
+        let summary = match validate_manifest(&manifest) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("check FAILED: manifest {}: {e}", manifest.display());
+                std::process::exit(1);
+            }
+        };
+        if summary.total_pclocks != expected {
+            eprintln!(
+                "check FAILED: manifest records {} pclocks but the ledger's seed entry records {expected}",
+                summary.total_pclocks
+            );
+            std::process::exit(1);
+        }
         println!(
-            "check OK: pclock total matches the ledger ({expected}) and {bytes_per_op:.2} bytes/op <= {BYTES_PER_OP_BUDGET}"
+            "check OK: pclock total matches the ledger ({expected}), manifest validates ({} cells), {bytes_per_op:.2} bytes/op <= {BYTES_PER_OP_BUDGET}",
+            summary.cells
         );
     }
 }

@@ -6,13 +6,23 @@
 //!
 //! Usage: `cargo run -p pfsim-bench --bin table2 --release [-- --paper]`
 
-use pfsim::SystemConfig;
+use pfsim::{RecordMisses, SystemConfig};
 use pfsim_analysis::{characterize, TextTable};
-use pfsim_bench::{characterization_run, miss_event_iter, Size};
+use pfsim_bench::{miss_event_iter, ExperimentSpec, Size, RECORDED_CPU};
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
+    let run = ExperimentSpec::new("table2")
+        .size(Size::from_args())
+        .apps(App::ALL)
+        .variant(
+            "record",
+            SystemConfig::builder()
+                .record_misses(RecordMisses::Cpu(RECORDED_CPU))
+                .build(),
+        )
+        .run();
+
     println!("Table 2: application characteristics, infinite second-level cache");
     println!(
         "(paper values: stride-miss %: 9.2/80/79/93/66/4.1; avg len: 5.2/7.2/8.0/16.9/7.6/3.4)"
@@ -27,11 +37,9 @@ fn main() {
         "Misses (recorded cpu)".into(),
     ]);
 
-    for app in App::ALL {
-        let result = characterization_run(app, size, SystemConfig::paper_baseline());
-        let ch = characterize(miss_event_iter(
-            &result.miss_traces[pfsim_bench::RECORDED_CPU],
-        ));
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let result = &cells[0].result;
+        let ch = characterize(miss_event_iter(&result.miss_traces[RECORDED_CPU]));
         table.row(vec![
             app.name().into(),
             format!("{:.1}%", ch.stride_fraction() * 100.0),
@@ -41,4 +49,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

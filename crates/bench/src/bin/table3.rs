@@ -8,13 +8,24 @@
 //!
 //! Usage: `cargo run -p pfsim-bench --bin table3 --release [-- --paper]`
 
-use pfsim::{MissCause, SystemConfig};
+use pfsim::{MissCause, RecordMisses, SystemConfig};
 use pfsim_analysis::{characterize, TextTable};
-use pfsim_bench::{characterization_run, miss_event_iter, Size, RECORDED_CPU};
+use pfsim_bench::{miss_event_iter, ExperimentSpec, Size, RECORDED_CPU};
 use pfsim_workloads::App;
 
 fn main() {
-    let size = Size::from_args();
+    let run = ExperimentSpec::new("table3")
+        .size(Size::from_args())
+        .apps(App::ALL)
+        .variant(
+            "record-16K",
+            SystemConfig::builder()
+                .slc_kb(16)
+                .record_misses(RecordMisses::Cpu(RECORDED_CPU))
+                .build(),
+        )
+        .run();
+
     println!("Table 3: application characteristics, finite 16 KB direct-mapped SLC");
     println!("(paper: repl-miss %: 32/45/45/76/82/39; stride %: 34/73/67/91/81/4.8)");
     println!();
@@ -28,10 +39,8 @@ fn main() {
         "Misses (recorded cpu)".into(),
     ]);
 
-    for app in App::ALL {
-        let cfg = SystemConfig::paper_baseline().with_finite_slc(16 * 1024);
-        let result = characterization_run(app, size, cfg);
-        let trace = &result.miss_traces[RECORDED_CPU];
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let trace = &cells[0].result.miss_traces[RECORDED_CPU];
         let ch = characterize(miss_event_iter(trace));
         let repl = trace
             .iter()
@@ -47,4 +56,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

@@ -12,7 +12,7 @@
 
 use pfsim::{RecordMisses, SystemConfig};
 use pfsim_analysis::{characterize, Characterization, TextTable};
-use pfsim_bench::{cursor, miss_event_iter, par_map, run_logged, Size, RECORDED_CPU};
+use pfsim_bench::{miss_event_iter, CellResult, ExperimentSpec, Size, RECORDED_CPU};
 use pfsim_workloads::App;
 
 fn trend(base: f64, large: f64, tolerance: f64) -> &'static str {
@@ -25,13 +25,8 @@ fn trend(base: f64, large: f64, tolerance: f64) -> &'static str {
     }
 }
 
-fn run(app: App, large: bool) -> Characterization {
-    let size = if large { Size::Large } else { Size::Default };
-    let wl = cursor(app, size);
-    let cfg = SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(RECORDED_CPU));
-    let label = format!("{app}{}", if large { " (large)" } else { "" });
-    let result = run_logged(&label, cfg, wl);
-    characterize(miss_event_iter(&result.miss_traces[RECORDED_CPU]))
+fn characterization(cell: &CellResult) -> Characterization {
+    characterize(miss_event_iter(&cell.result.miss_traces[RECORDED_CPU]))
 }
 
 fn main() {
@@ -40,7 +35,16 @@ fn main() {
     println!(" sequence length — limited/longer/longer/longer/longer)");
     println!();
 
-    let apps = [App::Mp3d, App::Cholesky, App::Water, App::Lu, App::Ocean];
+    let recording = SystemConfig::builder()
+        .record_misses(RecordMisses::Cpu(RECORDED_CPU))
+        .build();
+    // 5 apps × {base, large} data sets = 10 independent recording runs.
+    let run = ExperimentSpec::new("table4")
+        .apps([App::Mp3d, App::Cholesky, App::Water, App::Lu, App::Ocean])
+        .variant_sized("base", recording.clone(), Size::Default)
+        .variant_sized("large", recording, Size::Large)
+        .run();
+
     let mut table = TextTable::new(vec![
         "".into(),
         "Read misses within stride sequence".into(),
@@ -48,15 +52,12 @@ fn main() {
         "Dominant stride (blocks)".into(),
     ]);
 
-    // 5 apps x 2 sizes = 10 independent runs, fanned across cores.
-    let jobs: Vec<(App, bool)> = apps
-        .into_iter()
-        .flat_map(|app| [(app, false), (app, true)])
-        .collect();
-    let results = par_map(jobs, |(app, large)| run(app, large));
-
-    for (app, pair) in apps.into_iter().zip(results.chunks(2)) {
-        let [base, large] = pair else { unreachable!() };
+    for (app, cells) in run.apps.iter().zip(run.by_app()) {
+        let [base_cell, large_cell] = cells else {
+            unreachable!()
+        };
+        let base = characterization(base_cell);
+        let large = characterization(large_cell);
         table.row(vec![
             app.name().into(),
             format!(
@@ -83,4 +84,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

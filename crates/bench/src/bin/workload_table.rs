@@ -7,11 +7,18 @@
 //! Usage: `cargo run -p pfsim-bench --bin workload_table --release [-- --paper]`
 
 use pfsim_analysis::TextTable;
-use pfsim_bench::{shared_trace, Size};
+use pfsim_bench::{shared_trace, ExperimentSpec, Size};
 use pfsim_workloads::{packed_stats, App};
 
 fn main() {
     let size = Size::from_args();
+    // A trace-only experiment: no variants means no simulations — the
+    // runner just generates (and describes) every app's trace.
+    let run = ExperimentSpec::new("workload_table")
+        .size(size)
+        .apps(App::ALL)
+        .run();
+
     let mut table = TextTable::new(vec![
         "".into(),
         "reads".into(),
@@ -37,6 +44,9 @@ fn main() {
             format!("{}", s.pc_sites),
         ]);
     }
-    println!("Workload model properties ({:?} inputs)", size);
+    println!("Workload model properties ({size} inputs)");
     println!("{}", table.render());
+
+    let manifest = run.write_manifest().expect("write run manifest");
+    eprintln!("manifest: {}", manifest.display());
 }

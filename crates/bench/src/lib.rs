@@ -7,13 +7,17 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use pfsim::{MissRecord, RecordMisses, SimResult, System, SystemConfig};
+use pfsim::{MissRecord, SimResult};
 use pfsim_analysis::{MissEvent, RunMetrics};
-use pfsim_workloads::{App, PackedTrace, TraceCursor, TraceWorkload, Workload};
+use pfsim_workloads::{App, PackedTrace, TraceCursor, TraceWorkload};
 
+pub mod manifest;
 mod parallel;
+pub mod spec;
 
+pub use manifest::{validate_manifest, ManifestSummary};
 pub use parallel::par_map;
+pub use spec::{CellResult, ExperimentRun, ExperimentSpec, Runner, TraceInfo, Variant};
 
 /// Problem-size selection for the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -27,15 +31,57 @@ pub enum Size {
     Large,
 }
 
+impl std::fmt::Display for Size {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Size::Default => "default",
+            Size::Paper => "paper",
+            Size::Large => "large",
+        })
+    }
+}
+
 impl Size {
-    /// Parses the binary's command line: `--paper` selects paper-size
-    /// inputs.
+    /// Parses the binary's command line: `--paper` / `--large` /
+    /// `--size=<default|paper|large>` select the problem size (no flag
+    /// means [`Size::Default`]). Unknown flags are an error — exits with
+    /// a usage message rather than silently running the wrong
+    /// experiment.
     pub fn from_args() -> Size {
-        if std::env::args().any(|a| a == "--paper") {
-            Size::Paper
-        } else {
-            Size::Default
+        match Size::parse_args(std::env::args().skip(1)) {
+            Ok(size) => size,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--paper | --large | --size=<default|paper|large>]");
+                std::process::exit(2);
+            }
         }
+    }
+
+    /// Pure form of [`Size::from_args`] for testing: parses an argument
+    /// list (without the program name).
+    pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Size, String> {
+        let mut chosen: Option<Size> = None;
+        for arg in args {
+            let picked = match arg.as_str() {
+                "--paper" => Size::Paper,
+                "--large" => Size::Large,
+                _ => match arg.strip_prefix("--size=") {
+                    Some("default") => Size::Default,
+                    Some("paper") => Size::Paper,
+                    Some("large") => Size::Large,
+                    Some(other) => return Err(format!("unknown size '{other}'")),
+                    None => return Err(format!("unrecognized argument '{arg}'")),
+                },
+            };
+            match chosen {
+                Some(prev) if prev != picked => {
+                    return Err(format!("conflicting sizes: {prev} and {picked}"))
+                }
+                _ => chosen = Some(picked),
+            }
+        }
+        Ok(chosen.unwrap_or_default())
     }
 
     /// Builds `app` at this size as a materialized trace.
@@ -106,36 +152,41 @@ pub fn metrics_of(r: &SimResult) -> RunMetrics {
     r.run_metrics()
 }
 
-/// Runs `workload` on `cfg`, printing a short progress line to stderr.
-pub fn run_logged(label: &str, cfg: SystemConfig, workload: impl Workload) -> SimResult {
-    eprintln!("[run] {label} ({} ops)", workload.total_ops());
-    let start = std::time::Instant::now();
-    let result = System::new(cfg, workload).run();
-    eprintln!(
-        "[run] {label}: {} pclocks simulated in {:.1}s",
-        result.exec_cycles,
-        start.elapsed().as_secs_f64()
-    );
-    result
-}
-
 /// The processor whose miss stream the characterization records: an
 /// *interior* node of the 4×4 mesh (the paper measures "one processor ...
 /// which has been shown to be representative"; a corner node would
 /// under-represent Ocean's boundary exchanges).
 pub const RECORDED_CPU: usize = 5;
 
-/// The §5.1 characterization run: baseline machine, one processor's miss
-/// stream recorded. Replays the cached shared trace.
-pub fn characterization_run(app: App, size: Size, cfg: SystemConfig) -> SimResult {
-    let cfg = cfg.with_recording(RecordMisses::Cpu(RECORDED_CPU));
-    run_logged(app.name(), cfg, cursor(app, size))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pfsim::{RecordMisses, System, SystemConfig};
     use pfsim_workloads::App;
+
+    fn parse(args: &[&str]) -> Result<Size, String> {
+        Size::parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn size_args_parse_every_spelling() {
+        assert_eq!(parse(&[]), Ok(Size::Default));
+        assert_eq!(parse(&["--paper"]), Ok(Size::Paper));
+        assert_eq!(parse(&["--large"]), Ok(Size::Large));
+        assert_eq!(parse(&["--size=default"]), Ok(Size::Default));
+        assert_eq!(parse(&["--size=paper"]), Ok(Size::Paper));
+        assert_eq!(parse(&["--size=large"]), Ok(Size::Large));
+        // Repeating the same size is harmless.
+        assert_eq!(parse(&["--paper", "--size=paper"]), Ok(Size::Paper));
+    }
+
+    #[test]
+    fn size_args_reject_conflicts_and_unknowns() {
+        assert!(parse(&["--paper", "--large"]).is_err());
+        assert!(parse(&["--size=huge"]).is_err());
+        assert!(parse(&["--verbose"]).is_err());
+        assert!(parse(&["paper"]).is_err());
+    }
 
     #[test]
     fn size_builds_every_app() {

@@ -1,0 +1,412 @@
+//! JSON run manifests: the structured record every experiment binary
+//! emits under `results/`.
+//!
+//! A manifest captures what was run (grid, configurations, trace
+//! shapes, git revision), what it cost (per-phase and per-cell
+//! wall-clock) and what came out (per-node statistics, network and
+//! directory aggregates, the observability snapshot when instrumentation
+//! was on). [`validate_manifest`] re-parses a manifest and cross-checks
+//! its internal invariants — `perfsmoke --check` runs it against the
+//! manifest it just emitted, and CI validates a small end-to-end run.
+
+use std::path::Path;
+
+use pfsim::{ConsistencyModel, MetricsSnapshot, NodeStats, RecordMisses, SimResult, SystemConfig};
+use pfsim_analysis::Json;
+
+use crate::spec::{CellResult, ExperimentRun, TraceInfo, Variant};
+
+/// Schema version stamped into (and required from) every manifest.
+pub const MANIFEST_SCHEMA_VERSION: i64 = 1;
+
+/// Builds the manifest document for a completed run.
+pub(crate) fn manifest_json(run: &ExperimentRun, analyze_seconds: f64) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::Int(MANIFEST_SCHEMA_VERSION)),
+        ("name", Json::str(&run.name)),
+        ("size", Json::str(run.size.to_string())),
+        ("git", Json::str(git_describe())),
+        ("unix_time", Json::uint(unix_time())),
+        (
+            "phases",
+            Json::obj(vec![
+                ("gen_seconds", Json::Float(run.gen_seconds)),
+                ("sim_seconds", Json::Float(run.sim_seconds)),
+                ("analyze_seconds", Json::Float(analyze_seconds)),
+            ]),
+        ),
+        ("total_pclocks", Json::uint(run.total_pclocks())),
+        (
+            "apps",
+            Json::Array(run.apps.iter().map(|a| Json::str(a.name())).collect()),
+        ),
+        (
+            "variants",
+            Json::Array(run.variants.iter().map(variant_json).collect()),
+        ),
+        (
+            "traces",
+            Json::Array(run.traces.iter().map(trace_json).collect()),
+        ),
+        (
+            "cells",
+            Json::Array(run.cells.iter().map(cell_json).collect()),
+        ),
+    ])
+}
+
+fn variant_json(v: &Variant) -> Json {
+    Json::obj(vec![
+        ("label", Json::str(&v.label)),
+        ("scheme", Json::str(v.cfg.scheme.to_string())),
+        (
+            "size",
+            v.size.map_or(Json::Null, |s| Json::str(s.to_string())),
+        ),
+        ("config", config_json(&v.cfg)),
+    ])
+}
+
+fn config_json(cfg: &SystemConfig) -> Json {
+    Json::obj(vec![
+        ("nodes", Json::uint(cfg.nodes as u64)),
+        ("block_bytes", Json::uint(cfg.geometry.block_bytes())),
+        ("flc_bytes", Json::uint(cfg.flc_bytes)),
+        ("flwb_entries", Json::uint(cfg.flwb_entries as u64)),
+        ("slwb_entries", Json::uint(cfg.slwb_entries as u64)),
+        ("slc", Json::str(cfg.slc.describe())),
+        (
+            "consistency",
+            Json::str(match cfg.consistency {
+                ConsistencyModel::Release => "release",
+                ConsistencyModel::Sequential => "sequential",
+            }),
+        ),
+        (
+            "record_misses",
+            match cfg.record_misses {
+                RecordMisses::None => Json::str("none"),
+                RecordMisses::Cpu(cpu) => Json::str(format!("cpu:{cpu}")),
+                RecordMisses::All => Json::str("all"),
+            },
+        ),
+        ("instrument", Json::Bool(cfg.instrument)),
+    ])
+}
+
+fn trace_json(t: &TraceInfo) -> Json {
+    Json::obj(vec![
+        ("app", Json::str(t.app.name())),
+        ("size", Json::str(t.size.to_string())),
+        ("ops", Json::uint(t.ops)),
+        ("packed_bytes", Json::uint(t.packed_bytes)),
+        ("bytes_per_op", Json::Float(t.bytes_per_op)),
+    ])
+}
+
+fn cell_json(c: &CellResult) -> Json {
+    let r = &c.result;
+    Json::obj(vec![
+        ("app", Json::str(c.app.name())),
+        ("variant", Json::uint(c.variant as u64)),
+        ("size", Json::str(c.size.to_string())),
+        ("wall_seconds", Json::Float(c.wall_seconds)),
+        ("exec_cycles", Json::uint(r.exec_cycles)),
+        ("aggregates", aggregates_json(r)),
+        (
+            "net",
+            Json::obj(vec![
+                ("messages", Json::uint(r.net.messages)),
+                ("flits", Json::uint(r.net.flits)),
+                ("flit_hops", Json::uint(r.net.flit_hops)),
+                ("queuing_cycles", Json::uint(r.net.queuing_cycles)),
+            ]),
+        ),
+        (
+            "dir",
+            Json::obj(vec![
+                ("memory_supplied", Json::uint(r.dir.memory_supplied)),
+                ("owner_supplied", Json::uint(r.dir.owner_supplied)),
+                ("invalidations", Json::uint(r.dir.invalidations)),
+                ("writebacks", Json::uint(r.dir.writebacks)),
+                ("stale_writebacks", Json::uint(r.dir.stale_writebacks)),
+            ]),
+        ),
+        (
+            "nodes",
+            Json::Array(r.nodes.iter().map(node_json).collect()),
+        ),
+        (
+            "metrics",
+            r.metrics.as_ref().map_or(Json::Null, metrics_json),
+        ),
+    ])
+}
+
+fn aggregates_json(r: &SimResult) -> Json {
+    Json::obj(vec![
+        ("read_misses", Json::uint(r.read_misses())),
+        ("read_stall", Json::uint(r.read_stall())),
+        (
+            "prefetches_issued",
+            Json::uint(r.total(|n| n.prefetches_issued)),
+        ),
+        (
+            "prefetches_useful",
+            Json::uint(r.total(|n| n.prefetches_useful)),
+        ),
+        ("prefetch_efficiency", Json::Float(r.prefetch_efficiency())),
+    ])
+}
+
+fn node_json(n: &NodeStats) -> Json {
+    Json::obj(vec![
+        ("reads", Json::uint(n.reads)),
+        ("writes", Json::uint(n.writes)),
+        ("flc_read_hits", Json::uint(n.flc_read_hits)),
+        ("slc_read_hits", Json::uint(n.slc_read_hits)),
+        ("tagged_hits", Json::uint(n.tagged_hits)),
+        ("read_misses", Json::uint(n.read_misses)),
+        ("delayed_hits", Json::uint(n.delayed_hits)),
+        ("read_stall", Json::uint(n.read_stall)),
+        ("sync_stall", Json::uint(n.sync_stall)),
+        ("write_stall", Json::uint(n.write_stall)),
+        ("barrier_stall", Json::uint(n.barrier_stall)),
+        ("flwb_stall", Json::uint(n.flwb_stall)),
+        ("prefetches_issued", Json::uint(n.prefetches_issued)),
+        ("prefetches_useful", Json::uint(n.prefetches_useful)),
+        ("pf_dropped_present", Json::uint(n.pf_dropped_present)),
+        ("pf_dropped_inflight", Json::uint(n.pf_dropped_inflight)),
+        ("pf_dropped_full", Json::uint(n.pf_dropped_full)),
+        ("cold_misses", Json::uint(n.cold_misses)),
+        ("coherence_misses", Json::uint(n.coherence_misses)),
+        ("replacement_misses", Json::uint(n.replacement_misses)),
+        ("invals_received", Json::uint(n.invals_received)),
+        ("writebacks", Json::uint(n.writebacks)),
+        ("spurious_slc_wakeups", Json::uint(n.spurious_slc_wakeups)),
+    ])
+}
+
+fn metrics_json(m: &MetricsSnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "counters",
+            Json::Object(
+                m.counters
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::uint(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Object(
+                m.histograms
+                    .iter()
+                    .map(|(name, h)| {
+                        (
+                            name.clone(),
+                            Json::obj(vec![
+                                ("count", Json::uint(h.count)),
+                                ("sum", Json::uint(h.sum)),
+                                ("max", Json::uint(h.max)),
+                                (
+                                    "buckets",
+                                    Json::Array(h.buckets.iter().map(|&b| Json::uint(b)).collect()),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git is unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// What [`validate_manifest`] learned about a well-formed manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestSummary {
+    /// The experiment name.
+    pub name: String,
+    /// Number of simulated cells.
+    pub cells: usize,
+    /// Sum of simulated execution time over all cells, in pclocks.
+    pub total_pclocks: u64,
+}
+
+/// Parses and validates the manifest at `path`.
+///
+/// Checks the schema version, the presence and types of every required
+/// field, and the internal invariants: the cell grid is consistent with
+/// the declared apps and variants, per-cell node statistics are present
+/// and sum to the recorded aggregates, and `total_pclocks` equals the
+/// sum of cell execution times.
+pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    let version = field(&doc, "schema_version")?
+        .as_i64()
+        .ok_or("schema_version is not an integer")?;
+    if version != MANIFEST_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} (expected {MANIFEST_SCHEMA_VERSION})"
+        ));
+    }
+    let name = field(&doc, "name")?
+        .as_str()
+        .ok_or("name is not a string")?
+        .to_string();
+    field(&doc, "git")?.as_str().ok_or("git is not a string")?;
+    field(&doc, "size")?
+        .as_str()
+        .ok_or("size is not a string")?;
+    let phases = field(&doc, "phases")?;
+    for key in ["gen_seconds", "sim_seconds", "analyze_seconds"] {
+        field(phases, key)?
+            .as_f64()
+            .ok_or_else(|| format!("phases.{key} is not a number"))?;
+    }
+    let total_pclocks = field(&doc, "total_pclocks")?
+        .as_u64()
+        .ok_or("total_pclocks is not a u64")?;
+
+    let apps: Vec<&str> = field(&doc, "apps")?
+        .as_array()
+        .ok_or("apps is not an array")?
+        .iter()
+        .map(|a| a.as_str().ok_or("apps entry is not a string"))
+        .collect::<Result<_, _>>()?;
+    let variants = field(&doc, "variants")?
+        .as_array()
+        .ok_or("variants is not an array")?;
+    for (i, v) in variants.iter().enumerate() {
+        for key in ["label", "scheme"] {
+            field(v, key)?
+                .as_str()
+                .ok_or_else(|| format!("variants[{i}].{key} is not a string"))?;
+        }
+        field(v, "config")?
+            .as_object()
+            .ok_or_else(|| format!("variants[{i}].config is not an object"))?;
+    }
+    for (i, t) in field(&doc, "traces")?
+        .as_array()
+        .ok_or("traces is not an array")?
+        .iter()
+        .enumerate()
+    {
+        for key in ["ops", "packed_bytes"] {
+            field(t, key)?
+                .as_u64()
+                .ok_or_else(|| format!("traces[{i}].{key} is not a u64"))?;
+        }
+    }
+
+    let cells = field(&doc, "cells")?
+        .as_array()
+        .ok_or("cells is not an array")?;
+    let mut cycle_sum: u64 = 0;
+    for (i, cell) in cells.iter().enumerate() {
+        let app = field(cell, "app")?
+            .as_str()
+            .ok_or_else(|| format!("cells[{i}].app is not a string"))?;
+        if !apps.contains(&app) {
+            return Err(format!("cells[{i}].app '{app}' not in declared apps"));
+        }
+        let variant = field(cell, "variant")?
+            .as_u64()
+            .ok_or_else(|| format!("cells[{i}].variant is not a u64"))?;
+        if variant as usize >= variants.len() {
+            return Err(format!(
+                "cells[{i}].variant {variant} out of range ({} variants)",
+                variants.len()
+            ));
+        }
+        let exec = field(cell, "exec_cycles")?
+            .as_u64()
+            .ok_or_else(|| format!("cells[{i}].exec_cycles is not a u64"))?;
+        cycle_sum += exec;
+        let nodes = field(cell, "nodes")?
+            .as_array()
+            .ok_or_else(|| format!("cells[{i}].nodes is not an array"))?;
+        if nodes.is_empty() {
+            return Err(format!("cells[{i}].nodes is empty"));
+        }
+        let node_misses: Option<u64> = nodes
+            .iter()
+            .map(|n| field(n, "read_misses").ok()?.as_u64())
+            .sum();
+        let aggregate_misses = field(field(cell, "aggregates")?, "read_misses")?
+            .as_u64()
+            .ok_or_else(|| format!("cells[{i}].aggregates.read_misses is not a u64"))?;
+        if node_misses != Some(aggregate_misses) {
+            return Err(format!(
+                "cells[{i}]: node read_misses {node_misses:?} != aggregate {aggregate_misses}"
+            ));
+        }
+        // `metrics` must be present — an object when instrumented, null
+        // otherwise.
+        let metrics = field(cell, "metrics")?;
+        if !matches!(metrics, Json::Null | Json::Object(_)) {
+            return Err(format!("cells[{i}].metrics is neither null nor an object"));
+        }
+    }
+    if cycle_sum != total_pclocks {
+        return Err(format!(
+            "total_pclocks {total_pclocks} != sum of cell exec_cycles {cycle_sum}"
+        ));
+    }
+
+    Ok(ManifestSummary {
+        name,
+        cells: cells.len(),
+        total_pclocks,
+    })
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn git_describe_never_panics() {
+        assert!(!git_describe().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_missing_file_and_garbage() {
+        assert!(validate_manifest(Path::new("/nonexistent/m.json")).is_err());
+        let dir = std::env::temp_dir().join("pfsim-manifest-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"schema_version\": 99}").unwrap();
+        let err = validate_manifest(&path).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+}

@@ -86,6 +86,21 @@ impl SlcConfig {
             ways,
         }
     }
+
+    /// A short stable description for reports and run manifests
+    /// ("infinite", "16KB-dm", "16KB-4way").
+    pub fn describe(&self) -> String {
+        match *self {
+            SlcConfig::Infinite => "infinite".to_string(),
+            SlcConfig::DirectMapped { capacity_bytes } => {
+                format!("{}KB-dm", capacity_bytes / 1024)
+            }
+            SlcConfig::SetAssociative {
+                capacity_bytes,
+                ways,
+            } => format!("{}KB-{}way", capacity_bytes / 1024, ways),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]

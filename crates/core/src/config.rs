@@ -56,6 +56,7 @@ pub enum ConsistencyModel {
 /// assert_eq!(cfg.flc_bytes, 4096);
 /// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SystemConfig {
     /// Number of processing nodes (16 in the paper).
     pub nodes: u16,
@@ -98,6 +99,14 @@ pub struct SystemConfig {
     /// Maximum pclocks a processor may run ahead of the global event loop
     /// before yielding (bounds timing skew of the inline fast path).
     pub cpu_slice: u64,
+    /// Enables the observability registry: event counts by kind,
+    /// queue/MSHR occupancy histograms, server utilization and
+    /// prefetcher telemetry, snapshotted into
+    /// [`SimResult::metrics`](crate::SimResult::metrics). Purely
+    /// observational — simulated timing (pclocks) is identical either
+    /// way; disabled (the default) it costs one never-taken branch per
+    /// event.
+    pub instrument: bool,
 }
 
 impl SystemConfig {
@@ -126,6 +135,27 @@ impl SystemConfig {
             record_misses: RecordMisses::None,
             consistency: ConsistencyModel::Release,
             cpu_slice: 256,
+            instrument: false,
+        }
+    }
+
+    /// A typed builder starting from the paper baseline.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pfsim::SystemConfig;
+    /// use pfsim_prefetch::Scheme;
+    ///
+    /// let cfg = SystemConfig::builder()
+    ///     .scheme(Scheme::Sequential { degree: 1 })
+    ///     .slc_kb(16)
+    ///     .build();
+    /// assert_eq!(cfg.scheme, Scheme::Sequential { degree: 1 });
+    /// ```
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::paper_baseline(),
         }
     }
 
@@ -177,6 +207,12 @@ impl SystemConfig {
         self
     }
 
+    /// Enables (or disables) the observability registry.
+    pub fn with_instrumentation(mut self, on: bool) -> Self {
+        self.instrument = on;
+        self
+    }
+
     /// The end-to-end latency of a read serviced by the SLC, in pclocks
     /// (derived: SLC service + FLC fill = 6 in the paper configuration).
     pub fn slc_read_latency(&self) -> u64 {
@@ -204,6 +240,77 @@ impl Default for SystemConfig {
     }
 }
 
+/// Typed builder for [`SystemConfig`], produced by
+/// [`SystemConfig::builder`].
+///
+/// Starts from [`SystemConfig::paper_baseline`] and applies the studied
+/// variations by name, so experiment code never mutates configuration
+/// fields positionally.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Selects the prefetching scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Uses a finite direct-mapped SLC of `kb` kilobytes (§5.3 uses 16).
+    pub fn slc_kb(mut self, kb: u64) -> Self {
+        self.cfg.slc = SlcConfig::direct_mapped(kb * 1024);
+        self
+    }
+
+    /// Uses the paper's default infinite SLC.
+    pub fn slc_infinite(mut self) -> Self {
+        self.cfg.slc = SlcConfig::infinite();
+        self
+    }
+
+    /// Uses a finite set-associative SLC with true LRU.
+    pub fn slc_set_assoc(mut self, kb: u64, ways: usize) -> Self {
+        self.cfg.slc = SlcConfig::set_associative(kb * 1024, ways);
+        self
+    }
+
+    /// Uses coherence blocks of `bytes`, scaling the bus occupancy (see
+    /// [`SystemConfig::with_block_bytes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a power of two dividing the page size.
+    pub fn block_bytes(mut self, bytes: u64) -> Self {
+        self.cfg = self.cfg.with_block_bytes(bytes);
+        self
+    }
+
+    /// Selects the memory consistency model.
+    pub fn consistency(mut self, model: ConsistencyModel) -> Self {
+        self.cfg.consistency = model;
+        self
+    }
+
+    /// Enables miss-stream recording.
+    pub fn record_misses(mut self, record: RecordMisses) -> Self {
+        self.cfg.record_misses = record;
+        self
+    }
+
+    /// Enables (or disables) the observability registry.
+    pub fn instrument(mut self, on: bool) -> Self {
+        self.cfg.instrument = on;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SystemConfig {
+        self.cfg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +326,31 @@ mod tests {
         assert_eq!(c.mesh.nodes(), 16);
         assert_eq!(c.slc_read_latency(), 6);
         assert_eq!(c.local_memory_read_latency(), 28);
+    }
+
+    #[test]
+    fn typed_builder_composes() {
+        let c = SystemConfig::builder()
+            .scheme(Scheme::DDetection { degree: 2 })
+            .slc_kb(16)
+            .consistency(ConsistencyModel::Sequential)
+            .record_misses(RecordMisses::Cpu(5))
+            .instrument(true)
+            .build();
+        assert_eq!(c.scheme, Scheme::DDetection { degree: 2 });
+        assert_eq!(c.slc, SlcConfig::direct_mapped(16 * 1024));
+        assert_eq!(c.consistency, ConsistencyModel::Sequential);
+        assert_eq!(c.record_misses, RecordMisses::Cpu(5));
+        assert!(c.instrument);
+
+        let c = SystemConfig::builder()
+            .slc_set_assoc(16, 4)
+            .block_bytes(64)
+            .slc_infinite()
+            .build();
+        assert_eq!(c.slc, SlcConfig::infinite());
+        assert_eq!(c.geometry.block_bytes(), 64);
+        assert_eq!(c.mem_occupancy, 6);
     }
 
     #[test]

@@ -68,7 +68,9 @@ mod stats;
 mod sync;
 mod system;
 
-pub use config::{ConsistencyModel, RecordMisses, SystemConfig};
+pub use config::{ConsistencyModel, RecordMisses, SystemConfig, SystemConfigBuilder};
+pub use experiment::Run;
+pub use pfsim_engine::metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use stats::{MissCause, MissRecord, NodeStats, SimResult};
 pub use sync::{BarrierTable, LockTable};
 pub use system::System;

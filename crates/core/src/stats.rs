@@ -1,6 +1,7 @@
 //! Statistics collected by the full-system simulator.
 
 use pfsim_coherence::DirStats;
+use pfsim_engine::MetricsSnapshot;
 use pfsim_mem::{BlockAddr, Pc};
 use pfsim_network::NetStats;
 
@@ -116,6 +117,11 @@ pub struct SimResult {
     /// Recorded miss streams (empty unless recording was enabled),
     /// indexed by node.
     pub miss_traces: Vec<Vec<MissRecord>>,
+    /// Observability registry snapshot (`None` unless
+    /// [`SystemConfig::instrument`](crate::SystemConfig) was set):
+    /// event counts by kind, queue/MSHR occupancy histograms, server
+    /// and link utilization, prefetcher telemetry.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SimResult {
@@ -213,6 +219,7 @@ mod tests {
             net: Default::default(),
             dir: Default::default(),
             miss_traces: vec![],
+            metrics: None,
         };
         assert_eq!(r.read_misses(), 7);
     }

@@ -3,7 +3,7 @@
 
 use pfsim_cache::{Eviction, LineState};
 use pfsim_coherence::{ActionBuf, DirAction, DirRequest, DirStats};
-use pfsim_engine::{Cycle, EventQueue};
+use pfsim_engine::{CounterId, Cycle, EventQueue, HistogramId, Registry};
 use pfsim_mem::{Addr, BlockAddr, Geometry, NodeId};
 use pfsim_network::Mesh;
 use pfsim_prefetch::{ReadAccess, ReadOutcome};
@@ -24,6 +24,36 @@ enum Ev {
     SlcWork(u16),
     /// A message arrives at node `n`.
     Deliver(u16, Msg),
+}
+
+/// The observability registry plus pre-registered handles for the metrics
+/// the event loop touches. Hot-path updates go through the index handles
+/// (no name lookups); end-of-run gauges use `Registry::record` by name.
+/// Every mutating registry call is a no-op behind one predictable branch
+/// when instrumentation is off.
+struct Obs {
+    reg: Registry,
+    ev_cpu_step: CounterId,
+    ev_slc_work: CounterId,
+    ev_deliver: CounterId,
+    queue_depth: HistogramId,
+    queue_overflow: HistogramId,
+    mshr_occupancy: HistogramId,
+}
+
+impl Obs {
+    fn new(enabled: bool) -> Self {
+        let mut reg = Registry::new(enabled);
+        Obs {
+            ev_cpu_step: reg.counter("ev_cpu_step"),
+            ev_slc_work: reg.counter("ev_slc_work"),
+            ev_deliver: reg.counter("ev_deliver"),
+            queue_depth: reg.histogram("queue_depth"),
+            queue_overflow: reg.histogram("queue_overflow_depth"),
+            mshr_occupancy: reg.histogram("mshr_occupancy"),
+            reg,
+        }
+    }
 }
 
 /// Outcome of one FLWB drain attempt (see [`System::slc_drain_one`]).
@@ -64,6 +94,8 @@ pub struct System<W: Workload> {
     /// Reusable scratch buffer for directory actions: `deliver` borrows it
     /// per message so the protocol hot path never allocates.
     dir_actions: ActionBuf,
+    /// Observability registry (inert unless `cfg.instrument`).
+    obs: Obs,
 }
 
 /// Sends `msg` from `from` to `to`, reserving mesh bandwidth at `at`.
@@ -141,6 +173,7 @@ impl<W: Workload> System<W> {
             .collect();
         System {
             mesh: Mesh::new(cfg.mesh),
+            obs: Obs::new(cfg.instrument),
             cfg,
             workload,
             queue: EventQueue::new(),
@@ -164,8 +197,12 @@ impl<W: Workload> System<W> {
         for n in 0..self.cfg.nodes {
             self.queue.schedule(Cycle::ZERO, Ev::CpuStep(n));
         }
+        let instrumented = self.obs.reg.enabled();
         while let Some((t, ev)) = self.queue.pop() {
             self.last_time = self.last_time.max(t);
+            if instrumented {
+                self.observe_event(&ev);
+            }
             match ev {
                 Ev::CpuStep(n) => self.cpu_step(n, t),
                 Ev::SlcWork(n) => self.slc_work(n, t),
@@ -222,6 +259,12 @@ impl<W: Workload> System<W> {
             acc.stale_writebacks += s.stale_writebacks;
             acc
         });
+        let metrics = if instrumented {
+            self.finalize_obs();
+            Some(self.obs.reg.snapshot())
+        } else {
+            None
+        };
         SimResult {
             exec_cycles: self.last_time.as_u64(),
             net: self.mesh.stats(),
@@ -232,6 +275,80 @@ impl<W: Workload> System<W> {
                 .map(|n| std::mem::take(&mut n.miss_trace))
                 .collect(),
             nodes: self.nodes.iter().map(|n| n.stats).collect(),
+            metrics,
+        }
+    }
+
+    /// Hot-path instrumentation: called once per popped event when the
+    /// registry is enabled. Counts the event by kind and samples queue
+    /// and per-node MSHR occupancy (an every-event sample, so busy nodes
+    /// weight the distribution by their event traffic).
+    fn observe_event(&mut self, ev: &Ev) {
+        let (wheel, overdue, overflow) = self.queue.depth_profile();
+        self.obs
+            .reg
+            .observe(self.obs.queue_depth, (wheel + overdue + overflow) as u64);
+        self.obs
+            .reg
+            .observe(self.obs.queue_overflow, overflow as u64);
+        let n = match *ev {
+            Ev::CpuStep(n) => {
+                self.obs.reg.inc(self.obs.ev_cpu_step, 1);
+                n
+            }
+            Ev::SlcWork(n) => {
+                self.obs.reg.inc(self.obs.ev_slc_work, 1);
+                n
+            }
+            Ev::Deliver(n, _) => {
+                self.obs.reg.inc(self.obs.ev_deliver, 1);
+                n
+            }
+        };
+        self.obs.reg.observe(
+            self.obs.mshr_occupancy,
+            self.nodes[n as usize].mshr.len() as u64,
+        );
+    }
+
+    /// End-of-run gauge folding: server utilization, MSHR high water,
+    /// network channel utilization, SLC footprint and prefetcher
+    /// telemetry, summed (or maxed) across nodes.
+    fn finalize_obs(&mut self) {
+        let mut slc_busy = 0u64;
+        let mut dir_busy = 0u64;
+        let mut mem_busy = 0u64;
+        let mut mshr_hw = 0u64;
+        let mut valid_lines = 0u64;
+        let mut telemetry: Vec<(&'static str, u64)> = Vec::new();
+        let mut scratch = Vec::new();
+        for node in &self.nodes {
+            slc_busy += node.slc_server.busy_cycles();
+            dir_busy += node.dir_server.busy_cycles();
+            mem_busy += node.mem.busy_cycles();
+            mshr_hw = mshr_hw.max(node.mshr.high_water() as u64);
+            valid_lines += node.slc.valid_lines() as u64;
+            scratch.clear();
+            node.prefetcher.telemetry(&mut scratch);
+            for &(name, v) in &scratch {
+                match telemetry.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => *total += v,
+                    None => telemetry.push((name, v)),
+                }
+            }
+        }
+        let reg = &mut self.obs.reg;
+        reg.record("slc_busy_cycles", slc_busy);
+        reg.record("dir_busy_cycles", dir_busy);
+        reg.record("mem_busy_cycles", mem_busy);
+        reg.record_max("mshr_high_water", mshr_hw);
+        reg.record("slc_valid_lines", valid_lines);
+        let (links, link_busy, link_busy_max) = self.mesh.link_utilization();
+        reg.record("net_links", links as u64);
+        reg.record("net_link_busy_cycles", link_busy);
+        reg.record_max("net_link_busy_max", link_busy_max);
+        for (name, v) in telemetry {
+            reg.record(name, v);
         }
     }
 

@@ -159,6 +159,23 @@ impl Mesh {
         self.stats
     }
 
+    /// Channel-utilization summary over every unidirectional link:
+    /// `(links, busy_total, busy_max)` where `busy_total` sums each
+    /// link's occupied pclocks and `busy_max` is the busiest single
+    /// link (the hot-spot signal). Observability tap; links that cannot
+    /// exist (mesh edges) are never busy and only dilute the mean, so
+    /// all `4·nodes` slots are counted uniformly.
+    pub fn link_utilization(&self) -> (usize, u64, u64) {
+        let busy_total = self.links.iter().map(|l| l.busy_cycles()).sum();
+        let busy_max = self
+            .links
+            .iter()
+            .map(|l| l.busy_cycles())
+            .max()
+            .unwrap_or(0);
+        (self.links.len(), busy_total, busy_max)
+    }
+
     fn coords(&self, node: NodeId) -> (u16, u16) {
         let i = node.as_u16();
         (i % self.config.width, i / self.config.width)

@@ -97,6 +97,15 @@ pub trait Prefetcher {
     /// reports.
     fn name(&self) -> &'static str;
 
+    /// Appends `(counter, value)` telemetry pairs describing detection
+    /// behaviour (table lookups, hits, installs, …). Names are stable
+    /// metric identifiers; the observability layer sums pairs with the
+    /// same name across nodes. The default implementation exports
+    /// nothing.
+    fn telemetry(&self, out: &mut Vec<(&'static str, u64)>) {
+        let _ = out;
+    }
+
     /// Forgets all detection state (used between measurement phases).
     fn reset(&mut self);
 }

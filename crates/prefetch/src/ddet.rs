@@ -106,6 +106,14 @@ pub struct DDetection {
     /// Scratch buffer reused across misses for the strides to bump
     /// (avoids a per-miss allocation in the hottest path).
     bump_scratch: Vec<i64>,
+    /// Stream-list probes (one per miss or stream continuation).
+    stream_lookups: u64,
+    /// Probes that found a matching active stream.
+    stream_hits: u64,
+    /// Streams installed after stride detection.
+    streams_installed: u64,
+    /// Strides promoted from the frequency table to the common list.
+    strides_promoted: u64,
 }
 
 impl DDetection {
@@ -119,6 +127,10 @@ impl DDetection {
             common: LruTable::new(config.table_entries),
             streams: LruTable::new(config.table_entries),
             bump_scratch: Vec::new(),
+            stream_lookups: 0,
+            stream_hits: 0,
+            streams_installed: 0,
+            strides_promoted: 0,
         }
     }
 
@@ -149,9 +161,11 @@ impl DDetection {
     /// matched.
     fn advance_stream(&mut self, addr: Addr, late: bool, out: &mut Vec<BlockAddr>) -> bool {
         let block = self.geometry.block_of(addr);
+        self.stream_lookups += 1;
         let Some(stream) = self.streams.remove(&block) else {
             return false;
         };
+        self.stream_hits += 1;
         let stride = stream.stride;
         let old_depth = stream.depth;
         let depth = if self.config.adaptive_depth && late {
@@ -217,6 +231,7 @@ impl DDetection {
             if promoted {
                 self.freq.remove(&stride);
                 self.common.insert(stride, ());
+                self.strides_promoted += 1;
             }
         }
 
@@ -236,6 +251,7 @@ impl DDetection {
                             depth: self.config.degree,
                         },
                     );
+                    self.streams_installed += 1;
                     self.push_stream(addr, stride, out);
                 }
             }
@@ -262,11 +278,22 @@ impl Prefetcher for DDetection {
         "D-det"
     }
 
+    fn telemetry(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("stream_lookups", self.stream_lookups));
+        out.push(("stream_hits", self.stream_hits));
+        out.push(("streams_installed", self.streams_installed));
+        out.push(("strides_promoted", self.strides_promoted));
+    }
+
     fn reset(&mut self) {
         self.miss_list.clear();
         self.freq.clear();
         self.common.clear();
         self.streams.clear();
+        self.stream_lookups = 0;
+        self.stream_hits = 0;
+        self.streams_installed = 0;
+        self.strides_promoted = 0;
     }
 }
 

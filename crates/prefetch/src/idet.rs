@@ -104,6 +104,12 @@ pub struct IDetection {
     geometry: Geometry,
     config: IDetectionConfig,
     table: Vec<Option<RptEntry>>,
+    /// RPT probes (one per read presented to the scheme).
+    lookups: u64,
+    /// Probes that found a resident entry with a matching tag.
+    hits: u64,
+    /// Entries (re)allocated on an RPT miss.
+    allocs: u64,
 }
 
 impl IDetection {
@@ -122,6 +128,9 @@ impl IDetection {
             geometry,
             config,
             table: vec![None; config.entries],
+            lookups: 0,
+            hits: 0,
+            allocs: 0,
         }
     }
 
@@ -165,11 +174,13 @@ impl Prefetcher for IDetection {
     fn on_read(&mut self, access: &ReadAccess, out: &mut Vec<BlockAddr>) {
         let idx = self.index(access.pc);
         let tag = access.pc.as_u32();
+        self.lookups += 1;
 
         let Some(entry) = self.table[idx].as_mut().filter(|e| e.tag == tag) else {
             // RPT miss: allocate only for SLC misses ("the first time a
             // certain load instruction misses in the SLC").
             if access.outcome == crate::ReadOutcome::Miss {
+                self.allocs += 1;
                 self.table[idx] = Some(RptEntry {
                     tag,
                     prev: access.addr,
@@ -179,6 +190,7 @@ impl Prefetcher for IDetection {
             }
             return;
         };
+        self.hits += 1;
 
         match entry.stride {
             None => {
@@ -234,8 +246,17 @@ impl Prefetcher for IDetection {
         "I-det"
     }
 
+    fn telemetry(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("rpt_lookups", self.lookups));
+        out.push(("rpt_hits", self.hits));
+        out.push(("rpt_allocs", self.allocs));
+    }
+
     fn reset(&mut self) {
         self.table.iter_mut().for_each(|e| *e = None);
+        self.lookups = 0;
+        self.hits = 0;
+        self.allocs = 0;
     }
 }
 

@@ -43,6 +43,10 @@ use crate::{Prefetcher, ReadAccess};
 pub struct SequentialPrefetcher {
     geometry: Geometry,
     degree: u32,
+    /// Stream continuations observed (tagged hits and in-flight merges).
+    continuations: u64,
+    /// Misses that restarted the stream.
+    restarts: u64,
 }
 
 impl SequentialPrefetcher {
@@ -51,7 +55,12 @@ impl SequentialPrefetcher {
     /// A degree of zero produces no prefetches (equivalent to the baseline);
     /// the paper's main evaluation uses *d* = 1.
     pub fn new(geometry: Geometry, degree: u32) -> Self {
-        SequentialPrefetcher { geometry, degree }
+        SequentialPrefetcher {
+            geometry,
+            degree,
+            continuations: 0,
+            restarts: 0,
+        }
     }
 
     /// The degree of prefetching *d*.
@@ -71,11 +80,13 @@ impl Prefetcher for SequentialPrefetcher {
         if access.outcome.continues_stream() {
             // Prefetch phase: the processor consumed a prefetched block;
             // fetch the block that appears d blocks ahead (none if d = 0).
+            self.continuations += 1;
             if self.degree > 0 {
                 self.push_if_same_page(block, i64::from(self.degree), out);
             }
         } else if access.outcome == crate::ReadOutcome::Miss {
             // Detection-free "detection" phase: prefetch the next d blocks.
+            self.restarts += 1;
             for k in 1..=i64::from(self.degree) {
                 self.push_if_same_page(block, k, out);
             }
@@ -86,7 +97,15 @@ impl Prefetcher for SequentialPrefetcher {
         "Seq"
     }
 
-    fn reset(&mut self) {}
+    fn telemetry(&self, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("seq_continuations", self.continuations));
+        out.push(("seq_restarts", self.restarts));
+    }
+
+    fn reset(&mut self) {
+        self.continuations = 0;
+        self.restarts = 0;
+    }
 }
 
 #[cfg(test)]

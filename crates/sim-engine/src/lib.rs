@@ -31,10 +31,12 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 mod queue;
 mod server;
 mod time;
 
+pub use metrics::{CounterId, HistogramId, MetricsSnapshot, Registry};
 pub use queue::EventQueue;
 pub use server::FifoServer;
 pub use time::Cycle;

@@ -1,0 +1,346 @@
+//! Lightweight counter/histogram registry for simulator observability.
+//!
+//! The registry is the engine-level half of the observability layer: the
+//! full-system simulator registers named counters and histograms up front
+//! (receiving cheap index handles), then increments them from the event
+//! loop. Every mutating call starts with a single predictable branch on
+//! [`Registry::enabled`], so a disabled registry costs one never-taken
+//! branch per call site and nothing else — instrumentation must be
+//! pclock-neutral *and* close to wall-clock-neutral.
+//!
+//! Values are plain `u64` and bucketing is by bit width (`log2`), so
+//! identical runs produce bit-identical [`MetricsSnapshot`]s: the registry
+//! is as deterministic as the simulation it observes.
+//!
+//! # Examples
+//!
+//! ```
+//! use pfsim_engine::metrics::Registry;
+//!
+//! let mut reg = Registry::new(true);
+//! let events = reg.counter("events");
+//! let depth = reg.histogram("queue_depth");
+//! reg.inc(events, 1);
+//! reg.observe(depth, 12);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("events"), Some(1));
+//! assert_eq!(snap.histogram("queue_depth").unwrap().count, 1);
+//! ```
+
+/// Index handle for a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Index handle for a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(u32);
+
+/// A fixed-size log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples whose bit width is `i` (bucket 0 is the value
+/// zero, bucket 1 is the value 1, bucket 2 is 2..=3, bucket 3 is 4..=7,
+/// …). 65 buckets cover the full `u64` range with no allocation and no
+/// data-dependent branches in the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+    /// Log2 buckets: `buckets[i]` counts samples of bit width `i`.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    #[inline]
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.buckets[(64 - v.leading_zeros()) as usize] += 1;
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Registration returns index handles so the hot path never hashes a
+/// name; end-of-run convenience recording by name goes through
+/// [`Registry::record`].
+#[derive(Debug, Clone)]
+pub struct Registry {
+    enabled: bool,
+    counters: Vec<(&'static str, u64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl Registry {
+    /// Creates a registry. A disabled registry accepts registrations but
+    /// ignores every `inc`/`observe`/`record`.
+    pub fn new(enabled: bool) -> Self {
+        Registry {
+            enabled,
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Whether instrumentation is live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or finds) the counter `name`.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
+            return CounterId(i as u32);
+        }
+        self.counters.push((name, 0));
+        CounterId((self.counters.len() - 1) as u32)
+    }
+
+    /// Registers (or finds) the histogram `name`.
+    pub fn histogram(&mut self, name: &'static str) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| *n == name) {
+            return HistogramId(i as u32);
+        }
+        self.histograms.push((name, Histogram::default()));
+        HistogramId((self.histograms.len() - 1) as u32)
+    }
+
+    /// Adds `by` to a counter. One branch when disabled.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        if self.enabled {
+            self.counters[id.0 as usize].1 += by;
+        }
+    }
+
+    /// Records one histogram sample. One branch when disabled.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, v: u64) {
+        if self.enabled {
+            self.histograms[id.0 as usize].1.observe(v);
+        }
+    }
+
+    /// Adds `by` to the counter `name`, registering it on first use.
+    ///
+    /// Linear name lookup: meant for end-of-run gauge folding, not the
+    /// event loop.
+    pub fn record(&mut self, name: &'static str, by: u64) {
+        if self.enabled {
+            let id = self.counter(name);
+            self.counters[id.0 as usize].1 += by;
+        }
+    }
+
+    /// Sets the counter `name` to the maximum of its current value and
+    /// `v` (for high-water gauges folded across nodes).
+    pub fn record_max(&mut self, name: &'static str, v: u64) {
+        if self.enabled {
+            let id = self.counter(name);
+            let slot = &mut self.counters[id.0 as usize].1;
+            *slot = (*slot).max(v);
+        }
+    }
+
+    /// An immutable, name-sorted copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect();
+        counters.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.to_string(), HistogramSnapshot::of(h)))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram, trailing-zero buckets trimmed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples observed.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+    /// Log2 buckets, trimmed after the last non-zero entry.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> Self {
+        let last = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+        HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            max: h.max,
+            buckets: h.buckets[..last].to_vec(),
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Deterministic, name-sorted dump of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_ignores_everything() {
+        let mut reg = Registry::new(false);
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        reg.inc(c, 5);
+        reg.observe(h, 9);
+        reg.record("gauge", 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(0));
+        assert_eq!(snap.histogram("h").unwrap().count, 0);
+        assert_eq!(snap.counter("gauge"), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = Registry::new(true);
+        let c = reg.counter("c");
+        reg.inc(c, 2);
+        reg.inc(c, 3);
+        assert_eq!(reg.snapshot().counter("c"), Some(5));
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut reg = Registry::new(true);
+        let a = reg.counter("same");
+        let b = reg.counter("same");
+        assert_eq!(a, b);
+        reg.inc(a, 1);
+        reg.inc(b, 1);
+        assert_eq!(reg.snapshot().counter("same"), Some(2));
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_width() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 2); // 4, 7
+        assert_eq!(h.buckets[4], 1); // 8
+        assert_eq!(h.buckets[64], 1); // u64::MAX
+        assert_eq!(h.count, 8);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_trimmed() {
+        let mut reg = Registry::new(true);
+        let b = reg.counter("zeta");
+        let a = reg.counter("alpha");
+        reg.inc(b, 1);
+        reg.inc(a, 2);
+        let h = reg.histogram("h");
+        reg.observe(h, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0, "alpha");
+        assert_eq!(snap.counters[1].0, "zeta");
+        // value 3 has bit width 2 -> buckets [0, 0, 1]
+        assert_eq!(snap.histogram("h").unwrap().buckets, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn record_max_keeps_high_water() {
+        let mut reg = Registry::new(true);
+        reg.record_max("hw", 4);
+        reg.record_max("hw", 9);
+        reg.record_max("hw", 2);
+        assert_eq!(reg.snapshot().counter("hw"), Some(9));
+    }
+
+    #[test]
+    fn identical_sequences_snapshot_identically() {
+        let run = || {
+            let mut reg = Registry::new(true);
+            let c = reg.counter("ev");
+            let h = reg.histogram("depth");
+            for i in 0..100u64 {
+                reg.inc(c, 1);
+                reg.observe(h, i * 37 % 19);
+            }
+            reg.record("gauge", 7);
+            reg.snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+}

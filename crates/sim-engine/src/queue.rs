@@ -231,6 +231,16 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Occupancy split `(wheel, overdue, overflow)`: how many pending
+    /// events sit in the calendar wheel, the already-due side heap, and
+    /// the beyond-horizon overflow heap. Observability hook — events in
+    /// the wheel pop in O(1), the two heaps pay a log; a persistently
+    /// large overflow count means the horizon is mis-sized for the
+    /// workload's scheduling distance.
+    pub fn depth_profile(&self) -> (usize, usize, usize) {
+        (self.wheel_len, self.overdue.len(), self.overflow.len())
+    }
 }
 
 impl<E> Default for EventQueue<E> {

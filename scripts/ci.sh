@@ -16,6 +16,14 @@ if [[ "${1:-}" == "--no-perf" ]]; then
     run_perf=0
 fi
 
+echo "==> experiment binaries use the ExperimentSpec API (no deprecated entry points)"
+if grep -rnE 'run_scheme|run_config|run_baseline_recording|characterization_run|run_logged' \
+    crates/bench/src/bin/; then
+    echo "error: deprecated experiment entry points in crates/bench/src/bin/" >&2
+    echo "       (drive runs through ExperimentSpec/Runner instead)" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -32,7 +40,10 @@ echo "==> packed-trace replay determinism"
 cargo test -q -p pfsim-bench --release --offline --test packed_replay
 
 if [[ "$run_perf" == 1 ]]; then
-    echo "==> perfsmoke (throughput + packed pclock/bytes-per-op sanity)"
+    echo "==> perfsmoke (throughput + packed pclock/bytes-per-op + manifest validation)"
+    # perfsmoke drives a 24-cell ExperimentSpec end-to-end; --check fails
+    # unless the pclock total matches the ledger's seed entry AND the JSON
+    # run manifest it just emitted parses, validates, and agrees.
     ./target/release/perfsmoke --label ci --check
 fi
 

@@ -188,6 +188,39 @@ mod tests {
         assert!(parse(&["paper"]).is_err());
     }
 
+    /// The rejection paths name the offending token, so the usage
+    /// message the binaries print is actionable.
+    #[test]
+    fn size_arg_errors_name_the_offender() {
+        let err = parse(&["--size=huge"]).unwrap_err();
+        assert!(err.contains("huge"), "{err}");
+        let err = parse(&["--turbo"]).unwrap_err();
+        assert!(err.contains("--turbo"), "{err}");
+        let err = parse(&["--paper", "--size=large"]).unwrap_err();
+        assert!(err.contains("paper") && err.contains("large"), "{err}");
+    }
+
+    /// Near-miss spellings are rejected, not fuzzy-matched: sizes are
+    /// case-sensitive, `--size=` needs a value, and flag-like prefixes
+    /// of valid flags don't parse.
+    #[test]
+    fn size_args_reject_near_misses() {
+        assert!(parse(&["--size="]).is_err());
+        assert!(parse(&["--size=Paper"]).is_err());
+        assert!(parse(&["--size=LARGE"]).is_err());
+        assert!(parse(&["--Paper"]).is_err());
+        assert!(parse(&["--paper=yes"]).is_err());
+        assert!(parse(&["--siz=paper"]).is_err());
+        assert!(parse(&[""]).is_err());
+        // Conflicts are caught across spellings, in either order.
+        assert!(parse(&["--size=large", "--paper"]).is_err());
+        assert!(parse(&["--size=default", "--size=paper"]).is_err());
+        // An error anywhere poisons the whole parse even if a valid flag
+        // follows.
+        assert!(parse(&["--bogus", "--paper"]).is_err());
+        assert!(parse(&["--paper", "--bogus"]).is_err());
+    }
+
     #[test]
     fn size_builds_every_app() {
         for app in App::ALL {

@@ -409,4 +409,117 @@ mod tests {
         let err = validate_manifest(&path).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
     }
+
+    /// The smallest manifest `validate_manifest` accepts: one app, one
+    /// variant, one trace, two cells. Every failure-mode test below is a
+    /// single mutation of this string.
+    fn minimal_manifest() -> String {
+        r#"{
+            "schema_version": 1,
+            "name": "unit",
+            "git": "deadbeef",
+            "size": "default",
+            "phases": {"gen_seconds": 0.1, "sim_seconds": 0.2, "analyze_seconds": 0.0},
+            "total_pclocks": 300,
+            "apps": ["mp3d"],
+            "variants": [{"label": "base", "scheme": "None", "config": {}}],
+            "traces": [{"ops": 10, "packed_bytes": 80}],
+            "cells": [
+                {"app": "mp3d", "variant": 0, "exec_cycles": 100,
+                 "nodes": [{"read_misses": 3}, {"read_misses": 4}],
+                 "aggregates": {"read_misses": 7}, "metrics": null},
+                {"app": "mp3d", "variant": 0, "exec_cycles": 200,
+                 "nodes": [{"read_misses": 0}],
+                 "aggregates": {"read_misses": 0},
+                 "metrics": {"observations": {}}}
+            ]
+        }"#
+        .to_string()
+    }
+
+    /// Writes `text` to a fresh temp file and validates it.
+    fn check(case: &str, text: &str) -> Result<ManifestSummary, String> {
+        let dir = std::env::temp_dir().join("pfsim-manifest-cases");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{case}.json"));
+        std::fs::write(&path, text).unwrap();
+        validate_manifest(&path)
+    }
+
+    #[test]
+    fn minimal_manifest_validates() {
+        let summary = check("minimal", &minimal_manifest()).unwrap();
+        assert_eq!(summary.name, "unit");
+        assert_eq!(summary.cells, 2);
+        assert_eq!(summary.total_pclocks, 300);
+    }
+
+    /// A phase timing gone missing is reported by name.
+    #[test]
+    fn validate_rejects_missing_phase() {
+        let text = minimal_manifest().replace("\"sim_seconds\": 0.2, ", "");
+        let err = check("missing-phase", &text).unwrap_err();
+        assert!(err.contains("sim_seconds"), "{err}");
+        // The whole phases object missing is also named.
+        let full = minimal_manifest();
+        let start = full.find("\"phases\"").unwrap();
+        let end = full[start..].find("},").unwrap() + start + 2;
+        let text = format!("{}{}", &full[..start], &full[end..]);
+        let err = check("missing-phases", &text).unwrap_err();
+        assert!(err.contains("phases"), "{err}");
+    }
+
+    /// A corrupt observability snapshot (wrong JSON type) is rejected;
+    /// only `null` (metrics off) or an object (a snapshot) pass.
+    #[test]
+    fn validate_rejects_corrupt_snapshot() {
+        let text = minimal_manifest().replace("\"metrics\": null", "\"metrics\": \"corrupt\"");
+        let err = check("corrupt-snapshot", &text).unwrap_err();
+        assert!(err.contains("metrics"), "{err}");
+        let text =
+            minimal_manifest().replace("\"metrics\": {\"observations\": {}}", "\"metrics\": 17");
+        let err = check("numeric-snapshot", &text).unwrap_err();
+        assert!(err.contains("metrics"), "{err}");
+    }
+
+    /// Per-node statistics must sum to the recorded aggregate.
+    #[test]
+    fn validate_rejects_node_sum_mismatch() {
+        let text = minimal_manifest().replace("{\"read_misses\": 7}", "{\"read_misses\": 8}");
+        let err = check("node-sum", &text).unwrap_err();
+        assert!(err.contains("read_misses"), "{err}");
+    }
+
+    /// A cell referencing a variant index past the declared list fails.
+    #[test]
+    fn validate_rejects_variant_out_of_range() {
+        let text = minimal_manifest().replacen("\"variant\": 0", "\"variant\": 1", 1);
+        let err = check("variant-range", &text).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    /// A cell naming an undeclared app fails.
+    #[test]
+    fn validate_rejects_undeclared_app() {
+        let text = minimal_manifest().replacen("{\"app\": \"mp3d\"", "{\"app\": \"water\"", 1);
+        let err = check("undeclared-app", &text).unwrap_err();
+        assert!(err.contains("water"), "{err}");
+    }
+
+    /// `total_pclocks` must equal the sum of cell execution times.
+    #[test]
+    fn validate_rejects_pclock_sum_mismatch() {
+        let text = minimal_manifest().replace("\"total_pclocks\": 300", "\"total_pclocks\": 299");
+        let err = check("pclock-sum", &text).unwrap_err();
+        assert!(err.contains("total_pclocks"), "{err}");
+    }
+
+    /// A cell with an empty node array fails (the grid always simulates
+    /// at least one node).
+    #[test]
+    fn validate_rejects_empty_nodes() {
+        let text = minimal_manifest().replace("\"nodes\": [{\"read_misses\": 0}]", "\"nodes\": []");
+        let err = check("empty-nodes", &text).unwrap_err();
+        assert!(err.contains("nodes"), "{err}");
+    }
 }

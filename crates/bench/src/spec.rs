@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use pfsim::{SimResult, System, SystemConfig};
+use pfsim_check::ConsistencyOracle;
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -165,6 +166,19 @@ fn instrument_from_env() -> bool {
     )
 }
 
+/// Whether `PFSIM_CHECK` asks for the online consistency oracle.
+///
+/// When on, every cell runs with a [`ConsistencyOracle`] installed and
+/// the runner panics on the first violating cell. The oracle's hooks are
+/// read-only with respect to simulator state, so enabling it never
+/// changes a manifest's pclock totals — CI asserts exactly that.
+fn check_from_env() -> bool {
+    matches!(
+        std::env::var("PFSIM_CHECK").as_deref(),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
 /// Executes [`ExperimentSpec`]s: generates (cached) traces, fans the
 /// grid out over CPUs, logs progress, and owns the manifest output
 /// directory (`PFSIM_RESULTS_DIR`, default `results/`).
@@ -227,9 +241,31 @@ impl Runner {
             if spec.instrument {
                 cfg = cfg.with_instrumentation(true);
             }
+            let checked = check_from_env();
+            let (geometry, nodes) = (cfg.geometry, cfg.nodes as usize);
             let start = Instant::now();
-            let result = System::new(cfg, cursor(app, size)).run();
+            let mut sys = System::new(cfg, cursor(app, size));
+            if checked {
+                sys.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
+            }
+            let result = sys.run();
             let wall_seconds = start.elapsed().as_secs_f64();
+            if checked {
+                let oracle = sys
+                    .take_check_sink()
+                    .expect("sink installed above")
+                    .into_any()
+                    .downcast::<ConsistencyOracle>()
+                    .expect("sink is the oracle");
+                assert!(
+                    oracle.ok(),
+                    "[{}] {} × {}: consistency violations:\n{}",
+                    spec.name,
+                    app,
+                    variant.label,
+                    oracle.violations().join("\n")
+                );
+            }
             if !spec.quiet {
                 eprintln!(
                     "[{}] {} × {}: {} pclocks in {:.1}s",

@@ -1,0 +1,140 @@
+//! Delta-debugging trace shrinker.
+//!
+//! Fuzz failures arrive as a 16-lane op matrix (see
+//! [`pfsim_workloads::fuzz`]). Shrinking operates on the *matrix*, not
+//! the generated trace: the generator re-balances locks and re-appends
+//! the final barrier on every candidate, so every candidate is
+//! well-formed by construction and the failure predicate stays a simple
+//! "regenerate and re-run". The strategy is classic ddmin, coarse to
+//! fine: drop whole lanes, then binary-chunk halves per lane, then
+//! single entries, looping to a fixpoint.
+
+/// One CPU lane of generator input.
+pub type Lane = Vec<(u8, u16)>;
+/// The full generator input: one lane per CPU.
+pub type OpMatrix = Vec<Lane>;
+
+/// Total entries across all lanes.
+pub fn total_ops(matrix: &[Lane]) -> usize {
+    matrix.iter().map(Vec::len).sum()
+}
+
+/// Shrinks `matrix` to a locally minimal input for which `fails` still
+/// returns `true`. `fails(&matrix)` must hold on entry.
+pub fn shrink(mut matrix: OpMatrix, fails: &mut dyn FnMut(&[Lane]) -> bool) -> OpMatrix {
+    debug_assert!(fails(&matrix), "shrink called on a passing input");
+    loop {
+        let before = total_ops(&matrix);
+
+        // Coarsest first: empty whole lanes.
+        for lane in 0..matrix.len() {
+            if matrix[lane].is_empty() {
+                continue;
+            }
+            let saved = std::mem::take(&mut matrix[lane]);
+            if !fails(&matrix) {
+                matrix[lane] = saved;
+            }
+        }
+
+        // Per lane: remove chunks, halving the chunk size down to 1.
+        for lane in 0..matrix.len() {
+            let mut chunk = matrix[lane].len().div_ceil(2).max(1);
+            loop {
+                let mut start = 0;
+                while start < matrix[lane].len() {
+                    let end = (start + chunk).min(matrix[lane].len());
+                    let mut candidate = matrix.clone();
+                    candidate[lane].drain(start..end);
+                    if fails(&candidate) {
+                        matrix = candidate;
+                        // Same start now addresses the next chunk.
+                    } else {
+                        start = end;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk = (chunk / 2).max(1);
+            }
+        }
+
+        if total_ops(&matrix) == before {
+            return matrix;
+        }
+    }
+}
+
+/// Renders a shrunk matrix as a ready-to-paste Rust test reproducing the
+/// failure. `scheme_expr` and `fault_expr` are Rust expressions (e.g.
+/// `"Scheme::None"`, `"FaultInjection::DropFetchData"`).
+pub fn emit_repro(
+    matrix: &[Lane],
+    blocks: u64,
+    locks: u64,
+    scheme_expr: &str,
+    fault_expr: &str,
+) -> String {
+    let mut lanes = String::new();
+    for lane in matrix {
+        let entries: Vec<String> = lane.iter().map(|&(k, v)| format!("({k}, {v})")).collect();
+        lanes.push_str(&format!("        vec![{}],\n", entries.join(", ")));
+    }
+    format!(
+        r#"#[test]
+fn shrunk_repro() {{
+    use pfsim::SystemConfig;
+    use pfsim_check::{{run_with_fault, FaultInjection}};
+    use pfsim_prefetch::Scheme;
+    use pfsim_workloads::fuzz::random_workload;
+
+    let ops: Vec<Vec<(u8, u16)>> = vec![
+{lanes}    ];
+    let cfg = SystemConfig::paper_baseline().with_scheme({scheme_expr});
+    let report = run_with_fault(cfg, random_workload(&ops, {blocks}, {locks}), {fault_expr});
+    assert!(!report.ok, "expected the oracle to flag this trace");
+    for v in &report.violations {{
+        eprintln!("violation: {{v}}");
+    }}
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Predicate: fails while lane 0 still contains a `(9, _)` entry.
+    fn fails_if_nine(m: &[Lane]) -> bool {
+        m.iter().any(|l| l.iter().any(|&(k, _)| k == 9))
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_entry() {
+        let matrix: OpMatrix = vec![
+            vec![(1, 1), (2, 2), (9, 7), (3, 3)],
+            vec![(4, 4); 10],
+            vec![],
+        ];
+        let out = shrink(matrix, &mut |m| fails_if_nine(m));
+        assert_eq!(total_ops(&out), 1);
+        assert!(fails_if_nine(&out));
+    }
+
+    #[test]
+    fn repro_contains_all_lanes_and_the_fault() {
+        let s = emit_repro(
+            &[vec![(2, 3)], vec![(0, 3)]],
+            48,
+            4,
+            "Scheme::None",
+            "FaultInjection::DropFetchData",
+        );
+        assert!(s.contains("vec![(2, 3)],"));
+        assert!(s.contains("vec![(0, 3)],"));
+        assert!(s.contains("FaultInjection::DropFetchData"));
+        assert!(s.contains("random_workload(&ops, 48, 4)"));
+    }
+}

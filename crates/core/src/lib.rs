@@ -60,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 mod config;
 pub mod experiment;
 mod msg;
@@ -68,6 +69,7 @@ mod stats;
 mod sync;
 mod system;
 
+pub use check::CheckSink;
 pub use config::{ConsistencyModel, RecordMisses, SystemConfig, SystemConfigBuilder};
 pub use experiment::Run;
 pub use pfsim_engine::metrics::{HistogramSnapshot, MetricsSnapshot};

@@ -9,6 +9,7 @@ use pfsim_network::Mesh;
 use pfsim_prefetch::{ReadAccess, ReadOutcome};
 use pfsim_workloads::{Op, Workload};
 
+use crate::check::CheckSink;
 use crate::msg::Msg;
 use crate::node::{CpuStatus, DrainBlock, FlwbEntry, MshrEntry, Node, TxnKind};
 use crate::stats::{MissRecord, SimResult};
@@ -96,6 +97,9 @@ pub struct System<W: Workload> {
     dir_actions: ActionBuf,
     /// Observability registry (inert unless `cfg.instrument`).
     obs: Obs,
+    /// Optional correctness observer (see [`crate::check`]); `None` in
+    /// normal runs, so every hook site costs one predictable branch.
+    check: Option<Box<dyn CheckSink>>,
 }
 
 /// Sends `msg` from `from` to `to`, reserving mesh bandwidth at `at`.
@@ -181,7 +185,20 @@ impl<W: Workload> System<W> {
             barriers: BarrierTable::new(),
             last_time: Cycle::ZERO,
             dir_actions: ActionBuf::new(),
+            check: None,
         }
+    }
+
+    /// Installs a correctness observer; its hooks fire at every
+    /// data-movement event of the run. Install before [`run`](Self::run).
+    pub fn set_check_sink(&mut self, sink: Box<dyn CheckSink>) {
+        self.check = Some(sink);
+    }
+
+    /// Removes and returns the installed observer (downcast it via
+    /// [`CheckSink::into_any`] to read results).
+    pub fn take_check_sink(&mut self) -> Option<Box<dyn CheckSink>> {
+        self.check.take()
     }
 
     /// Runs the workload to completion and returns the statistics.
@@ -242,6 +259,9 @@ impl<W: Workload> System<W> {
                 }
             }
             panic!("simulation deadlocked with processors still blocked:\n{detail}");
+        }
+        if let Some(k) = self.check.as_deref_mut() {
+            k.run_finished();
         }
 
         // Fold in each processor's final run-ahead segment: a trace that
@@ -454,6 +474,7 @@ impl<W: Workload> System<W> {
             workload,
             queue,
             nodes,
+            check,
             ..
         } = self;
         let node = &mut nodes[ni];
@@ -492,6 +513,9 @@ impl<W: Workload> System<W> {
                     if node.flc.read(block) {
                         node.stats.reads += 1;
                         node.stats.flc_read_hits += 1;
+                        if let Some(k) = check.as_deref_mut() {
+                            k.read_flc_hit(n, addr);
+                        }
                         t += 1;
                         continue;
                     }
@@ -524,6 +548,9 @@ impl<W: Workload> System<W> {
                     node.flwb
                         .push(FlwbEntry::Write { addr, issued: t })
                         .expect("checked above");
+                    if let Some(k) = check.as_deref_mut() {
+                        k.write_issued(n, addr);
+                    }
                     if sequential {
                         // Sequential consistency: the processor waits for
                         // every write to perform globally.
@@ -581,6 +608,9 @@ impl<W: Workload> System<W> {
     /// FLC access), and resumes the processor after the FLC fill.
     fn serve_waiting_read(&mut self, n: u16, block: BlockAddr, done: Cycle) {
         let ni = n as usize;
+        if let Some(k) = self.check.as_deref_mut() {
+            k.read_completed(n, block);
+        }
         let flc_fill = self.cfg.flc_fill;
         self.nodes[ni].flc.fill(block);
         let issue = self.nodes[ni].issue_time;
@@ -757,6 +787,9 @@ impl<W: Workload> System<W> {
                     return Drained::Idle;
                 }
                 self.nodes[ni].flwb.pop();
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.release_drained(n, lock);
+                }
                 let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
                 let home = self.home_of_addr(lock);
                 send(
@@ -783,6 +816,9 @@ impl<W: Workload> System<W> {
                     return Drained::Idle;
                 }
                 self.nodes[ni].flwb.pop();
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.barrier_drained(n, id);
+                }
                 let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
                 let home = id % u32::from(self.cfg.nodes);
                 send(
@@ -829,6 +865,9 @@ impl<W: Workload> System<W> {
     fn slc_read(&mut self, n: u16, addr: Addr, pc: pfsim_mem::Pc, done: Cycle) {
         let ni = n as usize;
         let block = self.cfg.geometry.block_of(addr);
+        if let Some(k) = self.check.as_deref_mut() {
+            k.read_request(n, addr);
+        }
 
         let outcome = {
             let node = &mut self.nodes[ni];
@@ -914,6 +953,9 @@ impl<W: Workload> System<W> {
                 if was_tagged {
                     node.stats.prefetches_useful += 1;
                 }
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.write_applied(n, addr);
+                }
                 self.resume_write(n, done);
                 return;
             }
@@ -925,6 +967,9 @@ impl<W: Workload> System<W> {
                 }
                 if node.mshr.contains(block) {
                     // Upgrade already in flight: the write merges into it.
+                    if let Some(k) = self.check.as_deref_mut() {
+                        k.write_deferred(n, addr);
+                    }
                     return;
                 }
                 node.mshr
@@ -945,6 +990,9 @@ impl<W: Workload> System<W> {
                         entry.write_pending = true;
                         node.pending_write_txns += 1;
                     }
+                    if let Some(k) = self.check.as_deref_mut() {
+                        k.write_deferred(n, addr);
+                    }
                     return;
                 }
                 node.mshr
@@ -960,6 +1008,9 @@ impl<W: Workload> System<W> {
                 }
             }
         };
+        if let Some(k) = self.check.as_deref_mut() {
+            k.write_deferred(n, addr);
+        }
         let home = self.home_of(block);
         send(
             &mut self.mesh,
@@ -1051,6 +1102,9 @@ impl<W: Workload> System<W> {
                 } else {
                     node.slc.downgrade(block)
                 };
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.fetch_supplied(n, block, inval, had_copy);
+                }
                 send(
                     &mut self.mesh,
                     &mut self.queue,
@@ -1068,6 +1122,9 @@ impl<W: Workload> System<W> {
                     node.flc.invalidate(block);
                     node.removal
                         .insert(block.as_u64(), crate::stats::MissCause::Coherence);
+                }
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.invalidated(n, block);
                 }
                 send(
                     &mut self.mesh,
@@ -1104,6 +1161,9 @@ impl<W: Workload> System<W> {
                     .expect("upgrade ack without transaction");
                 debug_assert_eq!(entry.kind, TxnKind::Upgrade);
                 if node.slc.promote(block) {
+                    if let Some(k) = self.check.as_deref_mut() {
+                        k.promote(n, block);
+                    }
                     if entry.waiting_cpu {
                         // A read merged into the upgrade: the block is
                         // resident, serve it now.
@@ -1118,6 +1178,10 @@ impl<W: Workload> System<W> {
                     // current and this writeback carries no new data — it
                     // is an ownership relinquish that this protocol
                     // expresses as a (rare) data-sized writeback.
+                    if let Some(k) = self.check.as_deref_mut() {
+                        k.promote_failed(n, block);
+                    }
+                    let node = &mut self.nodes[ni];
                     node.stats.writebacks += 1;
                     let home = self.home_of(block);
                     send(
@@ -1203,6 +1267,9 @@ impl<W: Workload> System<W> {
                 node.flc.invalidate(victim);
                 node.removal
                     .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.evict(n, victim, false);
+                }
                 // Clean copies are dropped silently; the directory's
                 // presence bit goes stale and a future invalidation will
                 // simply be acknowledged without effect.
@@ -1213,6 +1280,9 @@ impl<W: Workload> System<W> {
                 node.removal
                     .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
                 node.stats.writebacks += 1;
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.evict(n, victim, true);
+                }
                 let home = self.home_of(victim);
                 send(
                     &mut self.mesh,
@@ -1229,6 +1299,10 @@ impl<W: Workload> System<W> {
                     },
                 );
             }
+        }
+
+        if let Some(k) = self.check.as_deref_mut() {
+            k.fill(n, block, exclusive);
         }
 
         if entry.waiting_cpu {
@@ -1309,6 +1383,14 @@ impl<W: Workload> System<W> {
         match msg {
             Msg::CohReq { block, req } => {
                 let t0 = self.home_service(ni, now);
+                if let Some(k) = self.check.as_deref_mut() {
+                    match req {
+                        DirRequest::Writeback { from } => {
+                            k.home_begin_writeback(n, block, from.as_u16());
+                        }
+                        _ => k.home_begin(n, block),
+                    }
+                }
                 let mut actions = std::mem::take(&mut self.dir_actions);
                 actions.clear();
                 self.nodes[ni].dir.request(block, req, &mut actions);
@@ -1317,6 +1399,9 @@ impl<W: Workload> System<W> {
             }
             Msg::FetchReply { block, had_copy } => {
                 let t0 = self.home_service(ni, now);
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.home_begin_fetch(n, block, had_copy);
+                }
                 let mut actions = std::mem::take(&mut self.dir_actions);
                 actions.clear();
                 self.nodes[ni].dir.fetch_done(block, had_copy, &mut actions);
@@ -1325,6 +1410,9 @@ impl<W: Workload> System<W> {
             }
             Msg::InvalAck { block } => {
                 let t0 = self.home_service(ni, now);
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.home_begin(n, block);
+                }
                 let mut actions = std::mem::take(&mut self.dir_actions);
                 actions.clear();
                 self.nodes[ni].dir.inval_ack(block, &mut actions);
@@ -1385,8 +1473,11 @@ impl<W: Workload> System<W> {
                     );
                 }
             }
-            Msg::LockGrant { lock: _ } => {
+            Msg::LockGrant { lock } => {
                 debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitLock);
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.lock_granted(n, lock);
+                }
                 let issue = self.nodes[ni].issue_time;
                 self.nodes[ni].stats.sync_stall += now.saturating_since(issue);
                 self.resume_cpu(n, now + 1);
@@ -1408,8 +1499,11 @@ impl<W: Workload> System<W> {
                     }
                 }
             }
-            Msg::BarrierRelease { id: _ } => {
+            Msg::BarrierRelease { id } => {
                 debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitBarrier);
+                if let Some(k) = self.check.as_deref_mut() {
+                    k.barrier_released(n, id);
+                }
                 let issue = self.nodes[ni].issue_time;
                 self.nodes[ni].stats.barrier_stall += now.saturating_since(issue);
                 self.resume_cpu(n, now + 1);
@@ -1425,6 +1519,9 @@ impl<W: Workload> System<W> {
         for action in actions.iter().copied() {
             match action {
                 DirAction::ReadMemory => {
+                    if let Some(k) = self.check.as_deref_mut() {
+                        k.home_read_memory(block);
+                    }
                     let (start, end) = self.nodes[hi]
                         .mem
                         .serve_timed(data_ready, self.cfg.mem_occupancy);
@@ -1432,6 +1529,9 @@ impl<W: Workload> System<W> {
                     data_ready = end + self.cfg.mem_extra_latency;
                 }
                 DirAction::WriteMemory => {
+                    if let Some(k) = self.check.as_deref_mut() {
+                        k.home_write_memory(block);
+                    }
                     self.nodes[hi].mem.serve(t0, self.cfg.mem_occupancy);
                 }
                 DirAction::SendData {
@@ -1439,6 +1539,9 @@ impl<W: Workload> System<W> {
                     exclusive,
                     prefetch,
                 } => {
+                    if let Some(k) = self.check.as_deref_mut() {
+                        k.home_send_data(block, to.as_u16());
+                    }
                     send(
                         &mut self.mesh,
                         &mut self.queue,

@@ -2,62 +2,21 @@
 //! multi-processor traces over a small shared region, checked for
 //! termination (no protocol deadlock), coherence-audit cleanliness and
 //! statistics invariants, across prefetching schemes and cache sizes.
+//!
+//! The trace generator lives in `pfsim_workloads::fuzz` and is shared
+//! with the `pfsim-fuzz` consistency fuzzer, so both harnesses hammer
+//! the protocol with the same op distribution.
 
 use pfsim::{System, SystemConfig};
 use pfsim_mem::{Addr, Pc, SplitMix64};
 use pfsim_prefetch::Scheme;
+use pfsim_workloads::fuzz::{random_ops, random_workload};
 use pfsim_workloads::{Op, TraceWorkload};
 
-/// Builds a random 16-CPU workload over a small shared region: reads,
-/// writes, computes, locks and barriers, so transactions collide hard.
-fn random_workload(ops_per_cpu: &[Vec<(u8, u16)>], blocks: u64, locks: u64) -> TraceWorkload {
-    let region_base = 16 * 4096u64; // page 16: home node 0
-    let lock_base = 64 * 4096u64;
-    let mut traces: Vec<Vec<Op>> = Vec::new();
-    for (cpu, ops) in ops_per_cpu.iter().enumerate() {
-        let mut trace = Vec::new();
-        let mut held: Option<Addr> = None;
-        for &(kind, value) in ops {
-            let addr = Addr::new(region_base + u64::from(value) % blocks * 32);
-            let pc = Pc::new(0x400 + u32::from(kind % 7) * 4);
-            match kind % 6 {
-                0 | 1 => trace.push(Op::Read { addr, pc }),
-                2 => trace.push(Op::Write { addr, pc }),
-                3 => trace.push(Op::Compute {
-                    cycles: u32::from(value % 19) + 1,
-                }),
-                4 => {
-                    // Locks must nest properly: release any held lock
-                    // before acquiring another.
-                    if let Some(lock) = held.take() {
-                        trace.push(Op::Release { lock });
-                    }
-                    let lock = Addr::new(lock_base + u64::from(value) % locks * 64);
-                    trace.push(Op::Acquire { lock });
-                    held = Some(lock);
-                }
-                _ => {
-                    if let Some(lock) = held.take() {
-                        trace.push(Op::Release { lock });
-                    }
-                }
-            }
-        }
-        if let Some(lock) = held.take() {
-            trace.push(Op::Release { lock });
-        }
-        traces.push(trace);
-        let _ = cpu;
-    }
-    // A final barrier so every processor's trace ends synchronized.
-    for trace in &mut traces {
-        trace.push(Op::Barrier { id: 999 });
-    }
-    TraceWorkload::new("stress", traces)
-}
-
-fn check(workload: TraceWorkload, scheme: Scheme, finite_slc: bool) {
-    let mut cfg = SystemConfig::paper_baseline().with_scheme(scheme);
+fn check(workload: TraceWorkload, scheme: Scheme, finite_slc: bool, instrumented: bool) {
+    let mut cfg = SystemConfig::paper_baseline()
+        .with_scheme(scheme)
+        .with_instrumentation(instrumented);
     if finite_slc {
         // Tiny SLC: maximal replacement churn against in-flight
         // transactions.
@@ -86,55 +45,53 @@ fn check(workload: TraceWorkload, scheme: Scheme, finite_slc: bool) {
     }
 }
 
-/// Draws the 16-CPU op matrix a proptest vec-of-vecs strategy used to.
-fn random_ops(rng: &mut SplitMix64) -> Vec<Vec<(u8, u16)>> {
-    (0..16)
-        .map(|_| {
-            let len = rng.random_range(20usize..120);
-            (0..len)
-                .map(|_| (rng.random_range(0u8..6), rng.random_range(0u16..512)))
-                .collect()
-        })
-        .collect()
-}
-
 /// Random contended traces terminate with coherent caches and
 /// consistent statistics, for every scheme, with an infinite SLC
-/// (24 seeded cases).
+/// (24 seeded cases). Every third case runs with instrumentation on,
+/// so the metrics path is stressed too, not just the fast path.
 #[test]
 fn stress_infinite_slc() {
     let mut rng = SplitMix64::seed_from_u64(0x57e51);
-    for _case in 0..24 {
+    for case in 0..24 {
         let ops = random_ops(&mut rng);
-        let scheme = match rng.random_range(0u8..5) {
+        let scheme = match rng.random_range(0u8..6) {
             0 => Scheme::None,
             1 => Scheme::Sequential { degree: 2 },
             2 => Scheme::IDetection { degree: 1 },
             3 => Scheme::DDetection { degree: 1 },
+            4 => Scheme::DDetectionAdaptive {
+                degree: 1,
+                max_depth: 4,
+            },
             _ => Scheme::SimpleStride { degree: 1 },
         };
-        check(random_workload(&ops, 48, 4), scheme, false);
+        check(random_workload(&ops, 48, 4), scheme, false, case % 3 == 0);
     }
 }
 
 /// The same property with a tiny finite SLC (replacements and
-/// writebacks racing against fetches and upgrades), 24 seeded cases.
+/// writebacks racing against fetches and upgrades), 24 seeded cases,
+/// with instrumented-on coverage interleaved.
 #[test]
 fn stress_finite_slc() {
     let mut rng = SplitMix64::seed_from_u64(0x57e52);
-    for _case in 0..24 {
+    for case in 0..24 {
         let ops = random_ops(&mut rng);
-        let scheme = match rng.random_range(0u8..5) {
+        let scheme = match rng.random_range(0u8..6) {
             0 => Scheme::None,
             1 => Scheme::Sequential { degree: 4 },
             2 => Scheme::IDetection { degree: 2 },
             3 => Scheme::DDetection { degree: 1 },
+            4 => Scheme::DDetectionAdaptive {
+                degree: 2,
+                max_depth: 8,
+            },
             _ => Scheme::AdaptiveSequential {
                 initial_degree: 2,
                 max_degree: 8,
             },
         };
-        check(random_workload(&ops, 96, 4), scheme, true);
+        check(random_workload(&ops, 96, 4), scheme, true, case % 3 == 1);
     }
 }
 

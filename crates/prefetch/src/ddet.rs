@@ -526,6 +526,172 @@ mod tests {
 }
 
 #[cfg(test)]
+mod lru_tests {
+    //! Eviction behavior of the four 16-entry LRU tables, pinned to the
+    //! paper's configuration (16 entries each, stride threshold 3).
+
+    use super::*;
+    use crate::{ReadAccess, ReadOutcome};
+    use pfsim_mem::{Pc, SplitMix64};
+
+    fn ddet() -> DDetection {
+        let d = DDetection::new(Geometry::paper(), DDetectionConfig::default());
+        // These tests are only meaningful against the paper's tables.
+        assert_eq!(d.config().table_entries, 16);
+        assert_eq!(d.config().stride_threshold, 3);
+        d
+    }
+
+    fn miss(d: &mut DDetection, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        d.on_read(
+            &ReadAccess {
+                pc: Pc::new(0),
+                addr: Addr::new(addr),
+                outcome: ReadOutcome::Miss,
+            },
+            &mut out,
+        );
+        out.into_iter().map(|b| b.as_u64()).collect()
+    }
+
+    /// The 17th miss pushes the oldest address out of the miss list; the
+    /// 16 most recent stay resident.
+    #[test]
+    fn miss_list_evicts_the_oldest_past_16() {
+        let mut d = ddet();
+        // Geometric spacing: all pairwise strides distinct, so nothing
+        // trains and the only state is the miss list itself.
+        let addrs: Vec<u64> = (0..17u32)
+            .map(|k| (0x10000u64 << (k / 2)) | (u64::from(k) * 32))
+            .collect();
+        for &a in &addrs {
+            miss(&mut d, a);
+        }
+        assert_eq!(d.miss_list.len(), 16);
+        assert!(
+            !d.miss_list.contains(&Addr::new(addrs[0])),
+            "oldest miss survived 16 newer ones"
+        );
+        for &a in &addrs[1..] {
+            assert!(d.miss_list.contains(&Addr::new(a)), "{a:#x} evicted early");
+        }
+    }
+
+    /// A trained common stride is evicted once 16 newer strides enter the
+    /// list, after which a fresh sequence with that stride must retrain
+    /// from scratch before prefetching resumes.
+    #[test]
+    fn common_stride_eviction_forces_retraining() {
+        let mut d = ddet();
+        let stride = 64u64;
+        for k in 0..8 {
+            miss(&mut d, 0x100000 + k * stride);
+        }
+        assert!(d.common.contains(&(stride as i64)), "stride never trained");
+
+        // Quick re-detection while the stride is resident: a brand-new
+        // sequence prefetches at its second miss.
+        assert!(miss(&mut d, 0x900000).is_empty());
+        assert!(!miss(&mut d, 0x900000 + stride).is_empty());
+
+        // 16 newer common strides (none a multiple the training produced)
+        // push the trained entry out — LRU, not random, replacement.
+        for i in 0..16i64 {
+            d.common.insert(1000 + 7 * i, ());
+        }
+        assert!(
+            !d.common.contains(&(stride as i64)),
+            "trained stride survived 16 newer common entries"
+        );
+
+        // Now the same stride at a fresh base is no longer recognized at
+        // the second miss...
+        let base = 0xa00000u64;
+        assert!(miss(&mut d, base).is_empty());
+        assert!(
+            miss(&mut d, base + stride).is_empty(),
+            "prefetched from an evicted common stride"
+        );
+        // ...but retrains: continuing the sequence re-promotes it and
+        // prefetching resumes.
+        let mut redetected = false;
+        for k in 2..10 {
+            if !miss(&mut d, base + k * stride).is_empty() {
+                redetected = true;
+                break;
+            }
+        }
+        assert!(redetected, "stride never retrained after eviction");
+        assert!(d.common.contains(&(stride as i64)));
+    }
+
+    /// 17 installed streams overflow the 16-entry stream list: the oldest
+    /// stream dies, and a reference it expected no longer advances
+    /// anything.
+    #[test]
+    fn stream_list_evicts_the_oldest_stream() {
+        let mut d = ddet();
+        let stride = 64u64;
+        // Train the stride once...
+        for k in 0..8 {
+            miss(&mut d, 0x100000 + k * stride);
+        }
+        // ...then install 17 streams via two-miss detections at bases far
+        // enough apart that no cross-sequence stride is ever common.
+        let g = Geometry::paper();
+        let bases: Vec<u64> = (0..17u64).map(|i| (0x900 + 5 * i) * 0x100000).collect();
+        for &base in &bases {
+            miss(&mut d, base);
+            assert!(
+                !miss(&mut d, base + stride).is_empty(),
+                "stream at {base:#x} not installed"
+            );
+        }
+        assert_eq!(d.streams.len(), 16, "stream list exceeded its capacity");
+        // The first stream expected base+2S next; that entry is gone.
+        let dead = g.block_of(Addr::new(bases[0] + 2 * stride));
+        assert!(!d.streams.contains(&dead), "oldest stream survived");
+        // And a tagged hit there no longer advances any stream.
+        let mut out = Vec::new();
+        d.on_read(
+            &ReadAccess {
+                pc: Pc::new(0),
+                addr: Addr::new(bases[0] + 2 * stride),
+                outcome: ReadOutcome::HitPrefetched,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "dead stream still prefetching: {out:?}");
+        // The newest stream is alive.
+        assert!(d
+            .streams
+            .contains(&g.block_of(Addr::new(bases[16] + 2 * stride))));
+    }
+
+    /// Under random miss hammering no table ever exceeds its configured
+    /// 16 entries (seeded cases).
+    #[test]
+    fn tables_never_exceed_capacity() {
+        let mut rng = SplitMix64::seed_from_u64(0xdde73);
+        let mut d = ddet();
+        for _ in 0..4000 {
+            // A mix of short stride bursts and random addresses keeps all
+            // four tables churning.
+            let base = rng.random_range(0u64..(1 << 24)) & !31;
+            let stride = u64::from(rng.random_range(1u32..5)) * 32;
+            for k in 0..rng.random_range(1u64..5) {
+                miss(&mut d, base + k * stride);
+            }
+            assert!(d.miss_list.len() <= 16);
+            assert!(d.freq.len() <= 16);
+            assert!(d.common.len() <= 16);
+            assert!(d.streams.len() <= 16);
+        }
+    }
+}
+
+#[cfg(test)]
 mod adaptive_tests {
     use super::*;
     use crate::{Prefetcher, ReadAccess, ReadOutcome};

@@ -36,6 +36,7 @@ mod packed;
 mod stats;
 
 pub mod cholesky;
+pub mod fuzz;
 pub mod lu;
 pub mod micro;
 pub mod mp3d;

@@ -39,12 +39,24 @@ cargo test -q --workspace --offline
 echo "==> packed-trace replay determinism"
 cargo test -q -p pfsim-bench --release --offline --test packed_replay
 
+echo "==> consistency litmus suite (all schemes x baseline/small-cache)"
+cargo test -q -p pfsim-check --release --offline --test litmus
+
+echo "==> pfsim-fuzz --smoke (200 seeded random traces, oracle on)"
+./target/release/pfsim-fuzz --smoke
+
 if [[ "$run_perf" == 1 ]]; then
     echo "==> perfsmoke (throughput + packed pclock/bytes-per-op + manifest validation)"
     # perfsmoke drives a 24-cell ExperimentSpec end-to-end; --check fails
     # unless the pclock total matches the ledger's seed entry AND the JSON
     # run manifest it just emitted parses, validates, and agrees.
     ./target/release/perfsmoke --label ci --check
+
+    echo "==> perfsmoke under PFSIM_CHECK=1 (oracle on every cell, pclock-neutral)"
+    # The oracle's hooks are read-only: the checked run must reproduce the
+    # exact same pclock total --check just validated, or checking is
+    # perturbing the simulation.
+    PFSIM_CHECK=1 ./target/release/perfsmoke --label ci-checked --check
 fi
 
 echo "==> CI gate passed"

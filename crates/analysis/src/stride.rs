@@ -1,7 +1,7 @@
 //! The §5.1 stride-sequence classifier.
 
 use std::borrow::Borrow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pfsim_mem::{BlockAddr, Pc};
 
@@ -33,9 +33,11 @@ pub struct Characterization {
     /// clarity of the average computation).
     pub sequence_misses: u64,
     /// stride (in blocks) → misses inside sequences with that stride.
-    pub stride_histogram: HashMap<i64, u64>,
+    /// Sorted by key: histogram iteration feeds the published tables, so
+    /// its order must be deterministic (lint D003).
+    pub stride_histogram: BTreeMap<i64, u64>,
     /// sequence length (in misses) → number of sequences of that length.
-    pub length_histogram: HashMap<usize, u64>,
+    pub length_histogram: BTreeMap<usize, u64>,
 }
 
 impl Characterization {
@@ -135,7 +137,11 @@ where
     I: IntoIterator,
     I::Item: Borrow<MissEvent>,
 {
-    let mut per_pc: HashMap<Pc, Vec<BlockAddr>> = HashMap::new();
+    // Grouped per load instruction. A BTreeMap (not a hash map) so the
+    // run-closing loop below visits groups in PC order: the sequence and
+    // histogram totals are commutative, but `sequences` numbering and any
+    // future per-group output stay deterministic by construction.
+    let mut per_pc: BTreeMap<Pc, Vec<BlockAddr>> = BTreeMap::new();
     let mut total_misses = 0u64;
     for m in misses {
         let m = m.borrow();

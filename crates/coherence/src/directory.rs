@@ -365,6 +365,7 @@ impl Directory {
                 entry
                     .busy
                     .as_mut()
+                    // pfsim-lint: allow(K002) -- busy-ness established by the branch condition above
                     .expect("checked")
                     .pending
                     .push_back(request);
@@ -396,9 +397,12 @@ impl Directory {
         } = self;
         let entry = entries
             .get_mut(block.as_u64())
+            // pfsim-lint: allow(K002) -- protocol trap: fetch_done always names a tracked block
             .expect("fetch_done for unknown block");
         let Entry { state, busy } = entry;
+        // pfsim-lint: allow(K002) -- protocol trap: fetch_done only arrives while a transaction is open
         let b = busy.as_mut().expect("fetch_done with no transaction");
+        // pfsim-lint: allow(K002) -- protocol trap: fetch_done only arrives while a transaction is open
         let txn = b.txn.as_mut().expect("fetch_done with no transaction");
         assert!(
             matches!(txn.waiting, Waiting::Fetch { .. }),
@@ -467,11 +471,15 @@ impl Directory {
         } = self;
         let entry = entries
             .get_mut(block.as_u64())
+            // pfsim-lint: allow(K002) -- protocol trap: inval_ack always names a tracked block
             .expect("inval_ack for unknown block");
         let Entry { state, busy } = entry;
+        // pfsim-lint: allow(K002) -- protocol trap: inval_ack only arrives while a transaction is open
         let b = busy.as_mut().expect("inval_ack with no transaction");
+        // pfsim-lint: allow(K002) -- protocol trap: inval_ack only arrives while a transaction is open
         let txn = b.txn.as_mut().expect("inval_ack with no transaction");
         let Waiting::Acks { remaining } = &mut txn.waiting else {
+            // pfsim-lint: allow(K002) -- protocol trap: a stray ack means the directory state machine is corrupt
             panic!("inval_ack while waiting for {:?}", txn.waiting);
         };
         *remaining -= 1;
@@ -623,7 +631,9 @@ impl Directory {
     ) {
         stats.writebacks += 1;
         let Entry { state, busy } = entry;
+        // pfsim-lint: allow(K002) -- caller dispatches here only for busy entries
         let b = busy.as_mut().expect("busy entry has a txn");
+        // pfsim-lint: allow(K002) -- caller dispatches here only for busy entries
         let txn = b.txn.as_mut().expect("busy entry has a txn");
         match txn.waiting {
             Waiting::Fetch { owner } if owner == from => {
@@ -730,6 +740,7 @@ impl Directory {
     #[allow(clippy::vec_box)]
     fn retire_if_idle(spare: &mut Vec<Box<Busy>>, busy: &mut Option<Box<Busy>>) {
         if busy.as_ref().is_some_and(|b| b.txn.is_none()) {
+            // pfsim-lint: allow(K002) -- is_some_and on the line above checked the txn is gone
             let b = busy.take().expect("checked");
             debug_assert!(b.pending.is_empty(), "drained entry still has requests");
             if spare.len() < SPARE_CAP {

@@ -62,6 +62,7 @@ impl LockTable {
         let state = self
             .locks
             .get_mut(&lock)
+            // pfsim-lint: allow(K002) -- protocol trap: releasing an unheld lock means the workload is malformed
             .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
         assert_eq!(state.holder, Some(from), "release by non-holder");
         state.holder = state.waiters.pop_front();

@@ -258,6 +258,7 @@ impl<W: Workload> System<W> {
                     ));
                 }
             }
+            // pfsim-lint: allow(K002) -- deadlock trap: failing loudly with full diagnostics is the designed response
             panic!("simulation deadlocked with processors still blocked:\n{detail}");
         }
         if let Some(k) = self.check.as_deref_mut() {
@@ -531,6 +532,7 @@ impl<W: Workload> System<W> {
                             pc,
                             issued: t,
                         })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
                         .expect("checked above");
                     block_cpu(node, queue, n, CpuStatus::WaitRead, t);
                     return;
@@ -547,6 +549,7 @@ impl<W: Workload> System<W> {
                     node.stats.writes += 1;
                     node.flwb
                         .push(FlwbEntry::Write { addr, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
                         .expect("checked above");
                     if let Some(k) = check.as_deref_mut() {
                         k.write_issued(n, addr);
@@ -571,6 +574,7 @@ impl<W: Workload> System<W> {
                     }
                     node.flwb
                         .push(FlwbEntry::Acquire { lock, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
                         .expect("checked above");
                     block_cpu(node, queue, n, CpuStatus::WaitLock, t);
                     return;
@@ -583,6 +587,7 @@ impl<W: Workload> System<W> {
                     }
                     node.flwb
                         .push(FlwbEntry::Release { lock, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
                         .expect("checked above");
                     block_cpu(node, queue, n, CpuStatus::WaitLock, t);
                     return;
@@ -595,6 +600,7 @@ impl<W: Workload> System<W> {
                     }
                     node.flwb
                         .push(FlwbEntry::Barrier { id, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
                         .expect("checked above");
                     block_cpu(node, queue, n, CpuStatus::WaitBarrier, t);
                     return;
@@ -910,6 +916,7 @@ impl<W: Workload> System<W> {
                                 e.waiting_cpu = true;
                                 e
                             })
+                            // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
                             .expect("capacity checked before pop");
                         ReadOutcome::Miss
                     }
@@ -978,6 +985,7 @@ impl<W: Workload> System<W> {
                         e.write_pending = true;
                         e
                     })
+                    // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
                     .expect("capacity checked before pop");
                 node.pending_write_txns += 1;
                 DirRequest::Upgrade {
@@ -1001,6 +1009,7 @@ impl<W: Workload> System<W> {
                         e.write_pending = true;
                         e
                     })
+                    // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
                     .expect("capacity checked before pop");
                 node.pending_write_txns += 1;
                 DirRequest::ReadExclusive {
@@ -1056,6 +1065,7 @@ impl<W: Workload> System<W> {
             }
             node.mshr
                 .alloc(block, MshrEntry::new(TxnKind::Prefetch))
+                // pfsim-lint: allow(K002) -- MSHR checked not-full just above; alloc cannot fail
                 .expect("checked above");
             node.stats.prefetches_issued += 1;
             issued += 1;
@@ -1158,6 +1168,7 @@ impl<W: Workload> System<W> {
                 let entry = node
                     .mshr
                     .remove(block)
+                    // pfsim-lint: allow(K002) -- protocol trap: an ack always matches an open upgrade transaction
                     .expect("upgrade ack without transaction");
                 debug_assert_eq!(entry.kind, TxnKind::Upgrade);
                 if node.slc.promote(block) {
@@ -1213,6 +1224,7 @@ impl<W: Workload> System<W> {
                             e.write_pending = entry.write_pending;
                             e
                         })
+                        // pfsim-lint: allow(K002) -- re-allocating the MSHR slot freed by the remove above
                         .expect("slot just freed");
                     send(
                         &mut self.mesh,
@@ -1249,6 +1261,7 @@ impl<W: Workload> System<W> {
         let entry = self.nodes[ni]
             .mshr
             .remove(block)
+            // pfsim-lint: allow(K002) -- protocol trap: a data reply always matches an open transaction
             .expect("data reply without transaction");
 
         // Insert the block; a finite SLC may evict a victim.
@@ -1322,6 +1335,7 @@ impl<W: Workload> System<W> {
                         e.write_pending = true;
                         e
                     })
+                    // pfsim-lint: allow(K002) -- re-allocating the MSHR slot freed by the remove above
                     .expect("slot just freed");
                 let home = self.home_of(block);
                 send(

@@ -1,0 +1,407 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The lints in this crate are syntactic: they need a faithful token
+//! stream with line numbers, and they need comments kept apart from code
+//! so that a `HashMap` in prose never trips a determinism lint while a
+//! `HashMap` in code always does. Full parsing is deliberately out of
+//! scope (no new dependencies, matching the in-tree FxHasher/SplitMix64/
+//! Json precedent); what *must* be exact is the token boundaries:
+//!
+//! * nested block comments (`/* /* */ */`);
+//! * raw strings with arbitrary hash fences (`r##"…"##`, `br#"…"#`);
+//! * the lifetime/char-literal ambiguity (`'a` vs. `'a'` vs. `'\n'`);
+//! * multi-char operators, so `==` is never mistaken for an assignment.
+//!
+//! Every byte of the input is covered by exactly one [`Span`] (token or
+//! trivia), which the lexer round-trip test asserts; lint passes consume
+//! only the token spans plus the comment list.
+
+/// What a span of source text is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'lifetime` (including the leading quote) or a loop label.
+    Lifetime,
+    /// Integer or float literal (including suffixes).
+    Number,
+    /// `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// `'x'`, `b'x'` (with escapes).
+    Char,
+    /// A single punctuation/operator token (`::` and `==` are one token).
+    Punct,
+    /// `// …` or `/* … */` (doc comments included).
+    Comment,
+    /// Whitespace.
+    Space,
+}
+
+/// One lexed span of the source.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Span kind.
+    pub kind: Kind,
+    /// 1-based line of the span's first byte.
+    pub line: u32,
+    /// Byte range `[lo, hi)` in the source.
+    pub lo: usize,
+    /// End of the byte range.
+    pub hi: usize,
+}
+
+/// Lexed view of one source file: code tokens and comments, separately.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Code tokens (no comments, no whitespace), in source order.
+    pub tokens: Vec<Span>,
+    /// Comments, in source order.
+    pub comments: Vec<Span>,
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lexes `src`, returning every token and comment with line numbers.
+///
+/// Invalid input (unterminated string, stray byte) never panics: the
+/// lexer degrades to single-byte punct tokens so a lint run over a file
+/// mid-edit still reports what it can.
+pub fn lex(src: &str) -> Lexed {
+    let all = lex_spans(src);
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    for s in all {
+        match s.kind {
+            Kind::Comment => comments.push(s),
+            Kind::Space => {}
+            _ => tokens.push(s),
+        }
+    }
+    Lexed { tokens, comments }
+}
+
+/// Lexes `src` into a complete, gap-free span list covering every byte
+/// (used directly by the round-trip test).
+pub fn lex_spans(src: &str) -> Vec<Span> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let lo = i;
+        let start_line = line;
+        let kind = scan_one(b, &mut i, &mut line);
+        debug_assert!(i > lo, "lexer must always advance");
+        out.push(Span {
+            kind,
+            line: start_line,
+            lo,
+            hi: i,
+        });
+    }
+    out
+}
+
+/// Scans one span starting at `*i`, advancing `*i` past it and `*line`
+/// over any newlines it contains. Returns the span's kind.
+fn scan_one(b: &[u8], i: &mut usize, line: &mut u32) -> Kind {
+    let c = b[*i];
+    match c {
+        b' ' | b'\t' | b'\r' | b'\n' => {
+            while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\r' | b'\n') {
+                if b[*i] == b'\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+            Kind::Space
+        }
+        b'/' if peek(b, *i + 1) == Some(b'/') => {
+            while *i < b.len() && b[*i] != b'\n' {
+                *i += 1;
+            }
+            Kind::Comment
+        }
+        b'/' if peek(b, *i + 1) == Some(b'*') => {
+            *i += 2;
+            let mut depth = 1u32;
+            while *i < b.len() && depth > 0 {
+                if b[*i] == b'/' && peek(b, *i + 1) == Some(b'*') {
+                    depth += 1;
+                    *i += 2;
+                } else if b[*i] == b'*' && peek(b, *i + 1) == Some(b'/') {
+                    depth -= 1;
+                    *i += 2;
+                } else {
+                    if b[*i] == b'\n' {
+                        *line += 1;
+                    }
+                    *i += 1;
+                }
+            }
+            Kind::Comment
+        }
+        b'"' => {
+            scan_string(b, i, line);
+            Kind::Str
+        }
+        b'r' | b'b' | b'c' => {
+            // Raw/byte/C string prefixes: r", r#", br", b", b'…
+            if let Some(k) = scan_prefixed_literal(b, i, line) {
+                k
+            } else {
+                scan_ident(b, i);
+                Kind::Ident
+            }
+        }
+        b'\'' => scan_quote(b, i, line),
+        b'0'..=b'9' => {
+            scan_number(b, i);
+            Kind::Number
+        }
+        c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+            scan_ident(b, i);
+            Kind::Ident
+        }
+        _ => {
+            for m in MULTI_PUNCT {
+                if b[*i..].starts_with(m.as_bytes()) {
+                    *i += m.len();
+                    return Kind::Punct;
+                }
+            }
+            *i += 1;
+            Kind::Punct
+        }
+    }
+}
+
+fn peek(b: &[u8], i: usize) -> Option<u8> {
+    b.get(i).copied()
+}
+
+fn scan_ident(b: &[u8], i: &mut usize) {
+    while *i < b.len() && (b[*i] == b'_' || b[*i].is_ascii_alphanumeric() || b[*i] >= 0x80) {
+        *i += 1;
+    }
+}
+
+/// Scans a number literal, including `0x…`, separators, float forms and
+/// suffixes (`1_000u64`, `1.5e-3f32`). Precision beyond "one token, right
+/// boundary" is not needed.
+fn scan_number(b: &[u8], i: &mut usize) {
+    *i += 1;
+    while *i < b.len() {
+        let c = b[*i];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            *i += 1;
+        } else if c == b'.' && peek(b, *i + 1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` yes; `1..3` and `1.method()` no.
+            *i += 1;
+        } else if (c == b'+' || c == b'-') && matches!(b[*i - 1], b'e' | b'E') {
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+/// Scans `"…"` with escapes, starting at the opening quote.
+fn scan_string(b: &[u8], i: &mut usize, line: &mut u32) {
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2.min(b.len() - *i),
+            b'"' => {
+                *i += 1;
+                return;
+            }
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Scans `r"…"`/`r#"…"#` (any fence depth), starting at the `r`.
+fn scan_raw_string(b: &[u8], i: &mut usize, line: &mut u32) {
+    *i += 1; // past `r`
+    let mut hashes = 0usize;
+    while peek(b, *i) == Some(b'#') {
+        hashes += 1;
+        *i += 1;
+    }
+    debug_assert_eq!(peek(b, *i), Some(b'"'));
+    *i += 1;
+    while *i < b.len() {
+        if b[*i] == b'\n' {
+            *line += 1;
+        }
+        if b[*i] == b'"'
+            && b[*i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            *i += 1 + hashes;
+            return;
+        }
+        *i += 1;
+    }
+}
+
+/// Distinguishes and scans `r"…"`, `br#"…"#`, `b"…"`, `b'…'`, `c"…"` at a
+/// `r`/`b`/`c` byte. Returns `None` when it is just an identifier start.
+fn scan_prefixed_literal(b: &[u8], i: &mut usize, line: &mut u32) -> Option<Kind> {
+    let c = b[*i];
+    let next = peek(b, *i + 1);
+    match (c, next) {
+        (b'r', Some(b'"')) | (b'r', Some(b'#')) => {
+            // `r#ident` (raw identifier) vs `r#"…"` (raw string): look past
+            // the hashes for the quote.
+            let mut j = *i + 1;
+            while peek(b, j) == Some(b'#') {
+                j += 1;
+            }
+            if peek(b, j) == Some(b'"') {
+                scan_raw_string(b, i, line);
+                Some(Kind::Str)
+            } else if next == Some(b'#') {
+                *i += 2; // `r#`
+                scan_ident(b, i);
+                Some(Kind::Ident)
+            } else {
+                None
+            }
+        }
+        (b'b' | b'c', Some(b'"')) => {
+            *i += 1;
+            scan_string(b, i, line);
+            Some(Kind::Str)
+        }
+        (b'b', Some(b'r')) if matches!(peek(b, *i + 2), Some(b'"') | Some(b'#')) => {
+            *i += 1;
+            scan_raw_string(b, i, line);
+            Some(Kind::Str)
+        }
+        (b'b', Some(b'\'')) => {
+            *i += 1;
+            scan_char(b, i);
+            Some(Kind::Char)
+        }
+        _ => None,
+    }
+}
+
+/// Scans `'…'` with escapes, starting at the opening quote. Only called
+/// once a closing quote is known to exist.
+fn scan_char(b: &[u8], i: &mut usize) {
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2.min(b.len() - *i),
+            b'\'' => {
+                *i += 1;
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Disambiguates `'` between a char literal and a lifetime/label.
+///
+/// `'a'` and `'\n'` are chars; `'a` followed by anything but `'` is a
+/// lifetime. The one-lookahead rule: after `'x` (a single non-escape
+/// character), a `'` means char literal, otherwise lifetime.
+fn scan_quote(b: &[u8], i: &mut usize, line: &mut u32) -> Kind {
+    let _ = line;
+    match peek(b, *i + 1) {
+        Some(b'\\') => {
+            scan_char(b, i);
+            Kind::Char
+        }
+        // `'x'` for any single non-quote character (ident or punct) is a
+        // char literal; `'ab`, `'a` without a closing quote, `'static` are
+        // lifetimes (an ident run longer than one char is never a char
+        // literal — chars beyond ASCII are multi-byte and handled below).
+        Some(c) if c != b'\'' => {
+            let is_ident_char = c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80;
+            if !is_ident_char {
+                // Punctuation char literal, e.g. `'('`.
+                scan_char(b, i);
+                return Kind::Char;
+            }
+            let mut j = *i + 1;
+            while peek(b, j).is_some_and(|d| d == b'_' || d.is_ascii_alphanumeric() || d >= 0x80) {
+                j += 1;
+            }
+            if peek(b, j) == Some(b'\'') {
+                scan_char(b, i);
+                Kind::Char
+            } else {
+                *i += 1;
+                scan_ident(b, i);
+                Kind::Lifetime
+            }
+        }
+        _ => {
+            // `''` or a lone trailing quote: treat as punct-ish char.
+            *i += 1;
+            Kind::Punct
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, &str)> {
+        let l = lex(src);
+        l.tokens
+            .iter()
+            .map(|s| (s.kind, &src[s.lo..s.hi]))
+            .collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let k = kinds("let x: &'a char = &'b'; 'outer: loop {}");
+        assert!(k.contains(&(Kind::Lifetime, "'a")));
+        assert!(k.contains(&(Kind::Char, "'b'")));
+        assert!(k.contains(&(Kind::Lifetime, "'outer")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(l.tokens.len(), 2);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let k = kinds(r####"let s = r##"has "quotes" and # inside"##;"####);
+        assert!(k
+            .iter()
+            .any(|(kk, t)| *kk == Kind::Str && t.contains("quotes")));
+    }
+
+    #[test]
+    fn multi_punct_is_one_token() {
+        let k = kinds("a == b; c += 1; d :: e");
+        assert!(k.contains(&(Kind::Punct, "==")));
+        assert!(k.contains(&(Kind::Punct, "+=")));
+        assert!(k.contains(&(Kind::Punct, "::")));
+    }
+}

@@ -1,0 +1,220 @@
+//! Findings, diagnostics rendering, and the machine-readable JSON report.
+//!
+//! The JSON schema (v1) mirrors the run-manifest discipline: written with
+//! the in-tree `pfsim_analysis::Json` renderer, read back and validated
+//! before the tool exits, so a malformed report can never reach CI
+//! unnoticed.
+
+use pfsim_analysis::json::Json;
+
+use crate::lints::known_id;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable lint ID (`D001`, `K002`, …).
+    pub id: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether a per-site suppression comment covers this finding.
+    pub suppressed: bool,
+    /// The suppression's written reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+impl Finding {
+    /// `file:line: ID message` — the span-accurate diagnostic line.
+    pub fn render(&self) -> String {
+        if self.suppressed {
+            format!(
+                "{}:{}: {} [suppressed: {}] {}",
+                self.file,
+                self.line,
+                self.id,
+                self.reason.as_deref().unwrap_or(""),
+                self.message
+            )
+        } else {
+            format!("{}:{}: {} {}", self.file, self.line, self.id, self.message)
+        }
+    }
+}
+
+/// Schema version of the JSON report.
+pub const SCHEMA: i64 = 1;
+
+/// Renders the findings as the v1 JSON report.
+pub fn to_json(findings: &[Finding], files_scanned: usize) -> Json {
+    let active = findings.iter().filter(|f| !f.suppressed).count();
+    let suppressed = findings.len() - active;
+    Json::obj(vec![
+        ("schema", Json::Int(SCHEMA)),
+        ("tool", Json::str("pfsim-lint")),
+        ("files_scanned", Json::uint(files_scanned as u64)),
+        (
+            "counts",
+            Json::obj(vec![
+                ("total", Json::uint(findings.len() as u64)),
+                ("suppressed", Json::uint(suppressed as u64)),
+                ("active", Json::uint(active as u64)),
+            ]),
+        ),
+        (
+            "findings",
+            Json::Array(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("id", Json::str(f.id)),
+                            ("file", Json::str(&*f.file)),
+                            ("line", Json::uint(u64::from(f.line))),
+                            ("message", Json::str(&*f.message)),
+                            ("suppressed", Json::Bool(f.suppressed)),
+                            ("reason", f.reason.as_deref().map_or(Json::Null, Json::str)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Validates a parsed report against the v1 schema: version, count
+/// consistency, known lint IDs, sane spans. Returns the first problem.
+pub fn validate_report(v: &Json) -> Result<(), String> {
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_i64)
+        .ok_or("missing schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema} != {SCHEMA}"));
+    }
+    if v.get("tool").and_then(Json::as_str) != Some("pfsim-lint") {
+        return Err("tool != pfsim-lint".to_string());
+    }
+    let findings = v
+        .get("findings")
+        .and_then(Json::as_array)
+        .ok_or("missing findings array")?;
+    let counts = v.get("counts").ok_or("missing counts")?;
+    let total = counts
+        .get("total")
+        .and_then(Json::as_u64)
+        .ok_or("counts.total")?;
+    let suppressed = counts
+        .get("suppressed")
+        .and_then(Json::as_u64)
+        .ok_or("counts.suppressed")?;
+    let active = counts
+        .get("active")
+        .and_then(Json::as_u64)
+        .ok_or("counts.active")?;
+    if total != findings.len() as u64 {
+        return Err(format!(
+            "counts.total {total} != {} findings",
+            findings.len()
+        ));
+    }
+    if suppressed + active != total {
+        return Err("counts.suppressed + counts.active != counts.total".to_string());
+    }
+    let mut seen_suppressed = 0u64;
+    for f in findings {
+        let id = f
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("finding without id")?;
+        if !known_id(id) {
+            return Err(format!("unknown lint id `{id}`"));
+        }
+        let file = f
+            .get("file")
+            .and_then(Json::as_str)
+            .ok_or("finding without file")?;
+        if file.is_empty() {
+            return Err("finding with empty file".to_string());
+        }
+        let line = f
+            .get("line")
+            .and_then(Json::as_u64)
+            .ok_or("finding without line")?;
+        if line == 0 {
+            return Err(format!("finding at {file} with line 0"));
+        }
+        let is_suppressed = f
+            .get("suppressed")
+            .and_then(Json::as_bool)
+            .ok_or("finding without suppressed flag")?;
+        if is_suppressed {
+            seen_suppressed += 1;
+            if f.get("reason").and_then(Json::as_str).is_none() {
+                return Err(format!(
+                    "suppressed finding at {file}:{line} without a reason"
+                ));
+            }
+        }
+    }
+    if seen_suppressed != suppressed {
+        return Err("counts.suppressed disagrees with findings".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                id: "D001",
+                file: "crates/core/src/x.rs".into(),
+                line: 3,
+                message: "bad".into(),
+                suppressed: false,
+                reason: None,
+            },
+            Finding {
+                id: "K002",
+                file: "crates/core/src/y.rs".into(),
+                line: 9,
+                message: "bad".into(),
+                suppressed: true,
+                reason: Some("why".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let j = to_json(&sample(), 2);
+        let back = Json::parse(&j.render()).unwrap();
+        validate_report(&back).unwrap();
+        assert_eq!(
+            back.get("counts").unwrap().get("active").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_count_mismatch() {
+        let j = to_json(&sample(), 2);
+        let mut text = j.render();
+        text = text.replace("\"total\": 2", "\"total\": 3");
+        let back = Json::parse(&text).unwrap();
+        assert!(validate_report(&back).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_unknown_id() {
+        let j = to_json(&sample(), 2);
+        let text = j.render().replace("D001", "Z999");
+        let back = Json::parse(&text).unwrap();
+        assert!(validate_report(&back).unwrap_err().contains("Z999"));
+    }
+}

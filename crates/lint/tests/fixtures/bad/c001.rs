@@ -1,0 +1,7 @@
+//@ path: crates/core/src/check.rs
+//@ expect: C001 5
+//@ expect: C001 6
+pub trait CheckSink {
+    fn write_issued(&mut self, n: u16);
+    fn fill(&mut self, n: u16);
+}

@@ -1,0 +1,8 @@
+//@ path: crates/cache/src/fix.rs
+//@ expect: D001 5
+//@ expect: D001 6
+//@ expect: D001 7
+use std::collections::HashMap;
+pub fn victims() -> HashMap<u64, u32> {
+    HashMap::default()
+}

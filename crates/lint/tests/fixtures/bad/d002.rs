@@ -1,0 +1,8 @@
+//@ path: crates/prefetch/src/fix.rs
+//@ expect: D002 5
+//@ expect: D002 6
+//@ expect: D002 7
+use std::time::Instant;
+pub fn stamp() -> Instant {
+    Instant::now()
+}

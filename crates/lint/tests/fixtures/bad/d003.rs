@@ -1,0 +1,14 @@
+//@ path: crates/analysis/src/fix.rs
+//@ expect: D003 6
+//@ expect: D003 11
+use pfsim_mem::{FxHashMap, FxHashSet};
+pub fn dump(hist: &FxHashMap<u64, u64>) {
+    for (k, v) in hist.iter() {
+        println!("{k} {v}");
+    }
+}
+pub fn walk(set: &FxHashSet<u64>) {
+    for b in set {
+        println!("{b}");
+    }
+}

@@ -1,0 +1,13 @@
+//@ path: crates/coherence/src/fix.rs
+//@ expect: K002 6
+//@ expect: K002 9
+//@ expect: K002 12
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+pub fn get(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+pub fn trap() {
+    panic!("boom");
+}

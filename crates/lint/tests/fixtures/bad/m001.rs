@@ -1,0 +1,9 @@
+//@ path: crates/core/src/fix.rs
+//@ expect: M001 6
+//@ expect: M001 8
+pub fn wire(reg: &mut Registry) {
+    let a = reg.counter("read_misses");
+    let b = reg.counter("read_misses");
+    let c = reg.histogram("latency");
+    let d = reg.counter("latency");
+}

@@ -1,0 +1,8 @@
+//@ path: crates/cache/src/fix.rs
+//@ expect: S000 5
+//@ expect: D001 6
+//@ expect: S000 8
+// pfsim-lint: allow(D001)
+use std::collections::HashMap;
+// pfsim-lint: allow(S000) -- a suppression cannot excuse a broken one
+// pfsim-lint: allow(D999)

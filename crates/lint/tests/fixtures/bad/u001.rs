@@ -1,0 +1,5 @@
+//@ path: crates/mem/src/fix.rs
+//@ expect: U001 4
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+//@ path: crates/core/src/fix.rs
+pub fn drive(sink: &mut dyn CheckSink) {
+    sink.write_issued(0);
+    sink.fill(0);
+}

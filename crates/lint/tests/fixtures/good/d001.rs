@@ -1,0 +1,5 @@
+//@ path: crates/cache/src/fix.rs
+use pfsim_mem::FxHashMap;
+pub fn victims() -> FxHashMap<u64, u32> {
+    FxHashMap::default()
+}

@@ -1,0 +1,13 @@
+//@ path: crates/analysis/src/fix.rs
+use pfsim_mem::{sorted_entries, FxHashMap};
+pub fn dump(hist: &FxHashMap<u64, u64>) -> u64 {
+    for (k, v) in sorted_entries(hist) {
+        println!("{k} {v}");
+    }
+    hist.values().sum()
+}
+pub fn ordered(hist: &FxHashMap<u64, u64>) -> Vec<u64> {
+    let mut ks: Vec<u64> = hist.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}

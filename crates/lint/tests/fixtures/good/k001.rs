@@ -1,0 +1,4 @@
+//@ path: crates/network/src/fix.rs
+pub fn read(node: &Node) -> u64 {
+    node.cpu_time
+}

@@ -1,0 +1,9 @@
+//@ path: crates/coherence/src/fix.rs
+pub fn take(x: Option<u32>) -> u32 {
+    debug_assert_eq!(x.unwrap(), 7);
+    x.unwrap_or(0)
+}
+pub fn must(x: Option<u32>) -> u32 {
+    // pfsim-lint: allow(K002) -- fixture: the invariant is documented here
+    x.expect("checked by caller")
+}

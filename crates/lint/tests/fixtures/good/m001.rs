@@ -1,0 +1,7 @@
+//@ path: crates/core/src/fix.rs
+pub fn wire(reg: &mut Registry) -> MetricId {
+    reg.counter("read_misses")
+}
+pub fn read(snap: &MetricsSnapshot) -> u64 {
+    snap.counter("read_misses")
+}

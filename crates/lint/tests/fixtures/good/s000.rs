@@ -1,0 +1,3 @@
+//@ path: crates/cache/src/fix.rs
+// pfsim-lint: allow(D001) -- fixture: a well-formed suppression parses and applies
+use std::collections::HashMap;

@@ -1,0 +1,13 @@
+//@ path: crates/cache/src/fix.rs
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn host_code_may_use_std_collections_and_wall_clocks() {
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        m.insert(1, 2);
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

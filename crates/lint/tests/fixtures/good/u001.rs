@@ -1,0 +1,8 @@
+//@ path: crates/mem/src/fix.rs
+pub fn read(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+pub fn read2(p: *const u64) -> u64 {
+    unsafe { *p } // SAFETY: caller guarantees `p` is valid and aligned.
+}

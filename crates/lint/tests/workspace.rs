@@ -1,0 +1,44 @@
+//! The real workspace must be lint-clean: zero active findings, and every
+//! suppression carries a written reason (the `-- reason` part is already
+//! mandatory in the grammar; this pins it end to end).
+
+use std::path::Path;
+
+use pfsim_lint::{lint_files, load_workspace, to_json, validate_report};
+
+fn workspace_findings() -> Vec<pfsim_lint::Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    lint_files(load_workspace(&root).unwrap())
+}
+
+#[test]
+fn workspace_has_no_active_findings() {
+    let findings = workspace_findings();
+    let active: Vec<String> = findings
+        .iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| f.render())
+        .collect();
+    assert!(active.is_empty(), "active findings:\n{}", active.join("\n"));
+}
+
+#[test]
+fn workspace_suppressions_carry_reasons() {
+    for f in workspace_findings().iter().filter(|f| f.suppressed) {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.trim().is_empty()),
+            "{}:{} ({}) suppressed without a reason",
+            f.file,
+            f.line,
+            f.id
+        );
+    }
+}
+
+#[test]
+fn workspace_report_validates() {
+    let findings = workspace_findings();
+    let json = to_json(&findings, 1);
+    let back = pfsim_analysis::json::Json::parse(&json.render()).unwrap();
+    validate_report(&back).unwrap();
+}

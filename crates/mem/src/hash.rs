@@ -26,13 +26,38 @@
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// A `HashMap` keyed through [`FxHasher`].
+// pfsim-lint: allow(D001) -- the FxHashMap definition itself wraps std's HashMap
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` keyed through [`FxHasher`].
+// pfsim-lint: allow(D001) -- the FxHashSet definition itself wraps std's HashSet
 pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
 
 /// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Deterministic snapshot of an [`FxHashMap`]: its entries sorted by key.
+///
+/// Hash-map iteration order must never reach an observable output (lint
+/// D003); when a map *must* be walked for output or order-sensitive
+/// accumulation, walk this instead.
+///
+/// # Examples
+///
+/// ```
+/// use pfsim_mem::{sorted_entries, FxHashMap};
+///
+/// let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+/// m.insert(9, "b");
+/// m.insert(3, "a");
+/// let snap = sorted_entries(&m);
+/// assert_eq!(snap, vec![(&3, &"a"), (&9, &"b")]);
+/// ```
+pub fn sorted_entries<K: Ord, V>(m: &FxHashMap<K, V>) -> Vec<(&K, &V)> {
+    let mut v: Vec<(&K, &V)> = m.iter().collect();
+    v.sort_by(|a, b| a.0.cmp(b.0));
+    v
+}
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 

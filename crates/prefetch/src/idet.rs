@@ -218,12 +218,14 @@ impl Prefetcher for IDetection {
                     (RptState::NoPref, true) => (RptState::Transient, false),
                     (RptState::NoPref, false) => (RptState::NoPref, true),
                 };
-                if recompute && new_stride != 0 {
+                let stride = if recompute && new_stride != 0 {
                     entry.stride = Some(new_stride);
-                }
+                    new_stride
+                } else {
+                    stride
+                };
                 entry.state = next_state;
                 entry.prev = access.addr;
-                let stride = entry.stride.expect("stride stays Some once set");
                 let state = entry.state;
 
                 if !state.prefetches() || stride == 0 {

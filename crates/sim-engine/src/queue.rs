@@ -164,6 +164,7 @@ impl<E> EventQueue<E> {
             if head.at.as_u64() >= horizon {
                 break;
             }
+            // pfsim-lint: allow(K002) -- peek returned Some on this very iteration
             let e = self.overflow.pop().expect("peeked");
             let i = (e.at.as_u64() & MASK) as usize;
             self.wheel[i].push_back(e.event);
@@ -193,6 +194,7 @@ impl<E> EventQueue<E> {
         // can precede the found bucket: all of overflow is at or beyond the
         // pre-advance horizon, which is beyond every wheel event.
         let from = (self.cursor & MASK) as usize;
+        // pfsim-lint: allow(K002) -- wheel_len > 0 guarantees an occupied bucket exists
         let i = self.next_occupied(from).expect("wheel_len > 0");
         let advance = (i.wrapping_sub(from) & (BUCKETS - 1)) as u64;
         if advance > 0 {
@@ -200,6 +202,7 @@ impl<E> EventQueue<E> {
             self.drain_overflow();
         }
         let bucket = &mut self.wheel[i];
+        // pfsim-lint: allow(K002) -- occupancy bitmap says this bucket is non-empty
         let event = bucket.pop_front().expect("occupied bit set");
         if bucket.is_empty() {
             self.occupied[i >> 6] &= !(1 << (i & 63));
@@ -215,6 +218,7 @@ impl<E> EventQueue<E> {
         }
         if self.wheel_len > 0 {
             let from = (self.cursor & MASK) as usize;
+            // pfsim-lint: allow(K002) -- wheel_len > 0 guarantees an occupied bucket exists
             let i = self.next_occupied(from).expect("wheel_len > 0");
             let advance = (i.wrapping_sub(from) & (BUCKETS - 1)) as u64;
             return Some(Cycle::new(self.cursor + advance));

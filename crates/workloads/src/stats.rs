@@ -2,9 +2,7 @@
 //! tables: operation mix, shared-data footprint and sharing degree,
 //! computed from a trace without running the timing model.
 
-use std::collections::HashMap;
-
-use pfsim_mem::Geometry;
+use pfsim_mem::{sorted_entries, FxHashMap, FxHashSet, Geometry};
 
 use crate::{Op, PackedTrace, TraceWorkload, Workload as _};
 
@@ -82,8 +80,8 @@ where
     let g = Geometry::paper();
     let mut stats = TraceStats::default();
     // block -> (reader/writer bitmask by cpu, written bitmask)
-    let mut touched: HashMap<u64, (u32, u32)> = HashMap::new();
-    let mut pcs: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut touched: FxHashMap<u64, (u32, u32)> = FxHashMap::default();
+    let mut pcs: FxHashSet<u32> = FxHashSet::default();
 
     for cpu in 0..num_cpus {
         let bit = 1u32 << cpu.min(31);
@@ -110,7 +108,9 @@ where
     }
 
     stats.footprint_blocks = touched.len() as u64;
-    for (toucher_mask, writer_mask) in touched.values() {
+    // The sums below are commutative, but walk the snapshot anyway: no
+    // hash-ordered loop survives to be copied somewhere order-sensitive.
+    for (_, (toucher_mask, writer_mask)) in sorted_entries(&touched) {
         if toucher_mask.count_ones() > 1 {
             stats.shared_blocks += 1;
             // Communicated: the block is written and more than one

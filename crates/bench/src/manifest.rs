@@ -25,6 +25,7 @@ pub(crate) fn manifest_json(run: &ExperimentRun, analyze_seconds: f64) -> Json {
         ("schema_version", Json::Int(MANIFEST_SCHEMA_VERSION)),
         ("name", Json::str(&run.name)),
         ("size", Json::str(run.size.to_string())),
+        ("threads", Json::uint(run.threads as u64)),
         ("git", Json::str(git_describe())),
         ("unix_time", Json::uint(unix_time())),
         (
@@ -253,6 +254,9 @@ pub struct ManifestSummary {
     pub cells: usize,
     /// Sum of simulated execution time over all cells, in pclocks.
     pub total_pclocks: u64,
+    /// Worker threads each cell's event kernel ran on (1 = serial
+    /// kernel; older manifests without the field read as 1).
+    pub threads: u64,
 }
 
 /// Parses and validates the manifest at `path`.
@@ -291,6 +295,12 @@ pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
     let total_pclocks = field(&doc, "total_pclocks")?
         .as_u64()
         .ok_or("total_pclocks is not a u64")?;
+    // Pre-sharding manifests (same schema version) lack the field; they
+    // were all serial-kernel runs.
+    let threads = match doc.get("threads") {
+        Some(v) => v.as_u64().ok_or("threads is not a u64")?,
+        None => 1,
+    };
 
     let apps: Vec<&str> = field(&doc, "apps")?
         .as_array()
@@ -383,6 +393,7 @@ pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
         name,
         cells: cells.len(),
         total_pclocks,
+        threads,
     })
 }
 
@@ -419,6 +430,7 @@ mod tests {
             "name": "unit",
             "git": "deadbeef",
             "size": "default",
+            "threads": 2,
             "phases": {"gen_seconds": 0.1, "sim_seconds": 0.2, "analyze_seconds": 0.0},
             "total_pclocks": 300,
             "apps": ["mp3d"],
@@ -452,6 +464,18 @@ mod tests {
         assert_eq!(summary.name, "unit");
         assert_eq!(summary.cells, 2);
         assert_eq!(summary.total_pclocks, 300);
+        assert_eq!(summary.threads, 2);
+    }
+
+    /// `threads` round-trips when present and defaults to 1 (the serial
+    /// kernel) for pre-sharding manifests; a wrong type is rejected.
+    #[test]
+    fn validate_threads_field() {
+        let text = minimal_manifest().replace("\"threads\": 2,\n", "");
+        assert_eq!(check("no-threads", &text).unwrap().threads, 1);
+        let text = minimal_manifest().replace("\"threads\": 2", "\"threads\": \"two\"");
+        let err = check("bad-threads", &text).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
     }
 
     /// A phase timing gone missing is reported by name.

@@ -60,6 +60,7 @@ pub struct ExperimentSpec {
     pub(crate) instrument: bool,
     pub(crate) parallel: bool,
     pub(crate) quiet: bool,
+    pub(crate) threads: usize,
 }
 
 impl ExperimentSpec {
@@ -76,6 +77,7 @@ impl ExperimentSpec {
             instrument: instrument_from_env(),
             parallel: true,
             quiet: false,
+            threads: shards_from_env(),
         }
     }
 
@@ -146,6 +148,15 @@ impl ExperimentSpec {
         self
     }
 
+    /// Runs every cell on the sharded event kernel with `n` worker
+    /// threads (`<= 1` selects the serial kernel), overriding
+    /// `PFSIM_SHARDS`. Results are bit-identical either way — this knob
+    /// trades intra-run wall-clock against the grid-level fan-out.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
     /// Suppresses the per-cell progress lines on stderr.
     pub fn quiet(mut self) -> Self {
         self.quiet = true;
@@ -164,6 +175,15 @@ fn instrument_from_env() -> bool {
         std::env::var("PFSIM_INSTRUMENT").as_deref(),
         Ok("1") | Ok("true") | Ok("on")
     )
+}
+
+/// Worker-thread count per simulation from `PFSIM_SHARDS` (default 1:
+/// the serial kernel).
+fn shards_from_env() -> usize {
+    std::env::var("PFSIM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Whether `PFSIM_CHECK` asks for the online consistency oracle.
@@ -248,7 +268,11 @@ impl Runner {
             if checked {
                 sys.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
             }
-            let result = sys.run();
+            let result = if spec.threads > 1 {
+                sys.run_threads(spec.threads)
+            } else {
+                sys.run()
+            };
             let wall_seconds = start.elapsed().as_secs_f64();
             if checked {
                 let oracle = sys
@@ -292,6 +316,7 @@ impl Runner {
             size: spec.size,
             apps: spec.apps,
             variants: spec.variants,
+            threads: spec.threads.max(1),
             cells,
             traces,
             gen_seconds,
@@ -373,6 +398,9 @@ pub struct ExperimentRun {
     pub apps: Vec<App>,
     /// Grid columns.
     pub variants: Vec<Variant>,
+    /// Worker threads each cell's event kernel ran on (1 = serial
+    /// kernel); recorded in the manifest as `threads`.
+    pub threads: usize,
     /// Cell results, app-major (`apps.len() × variants.len()`).
     pub cells: Vec<CellResult>,
     /// The distinct traces the run generated.
@@ -440,7 +468,9 @@ mod tests {
             .baseline_and(&[Scheme::Sequential { degree: 1 }])
             .variant_sized("large", SystemConfig::paper_baseline(), Size::Large)
             .serial()
+            .threads(4)
             .quiet();
+        assert_eq!(spec.threads, 4);
         assert_eq!(spec.apps, [App::Mp3d, App::Water]);
         assert_eq!(spec.variants.len(), 3);
         assert_eq!(spec.variants[0].label, "baseline");

@@ -1,0 +1,164 @@
+//! Sharded-kernel determinism gate: the conservative parallel event
+//! kernel must be *bit-identical* to the serial one — same pclock
+//! totals, same per-node counters, same network/directory stats, same
+//! metrics-registry snapshots — for every scheme × application cell.
+//!
+//! Two tiers:
+//!
+//! * the Ocean column (the cheapest application) runs in the default
+//!   test pass, covering every scheme with the thread count rotating
+//!   through 1/2/4 and the observability registry instrumented;
+//! * the full 24-cell matrix is `#[ignore]`d here (sharded cells on a
+//!   single-core host serialize through the scheduler and take minutes)
+//!   and run in release by `ci.sh`'s sharded stage.
+
+use pfsim::{SimResult, System, SystemConfig};
+use pfsim_check::{run_checked, run_checked_threads};
+use pfsim_engine::MetricsSnapshot;
+use pfsim_prefetch::Scheme;
+use pfsim_workloads::App;
+
+/// The perfsmoke grid's variants: baseline plus the three degree-1
+/// prefetching schemes.
+const SCHEMES: [Option<Scheme>; 4] = [
+    None,
+    Some(Scheme::IDetection { degree: 1 }),
+    Some(Scheme::DDetection { degree: 1 }),
+    Some(Scheme::Sequential { degree: 1 }),
+];
+
+/// Thread counts rotate across cells so every count appears against
+/// every kind of traffic without running each cell three times over.
+const THREAD_ROTATION: [usize; 3] = [1, 2, 4];
+
+fn cfg_for(scheme: Option<Scheme>, instrument: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline().with_instrumentation(instrument);
+    if let Some(s) = scheme {
+        cfg = cfg.with_scheme(s);
+    }
+    cfg
+}
+
+/// Field-by-field comparison so a mismatch names what diverged; metrics
+/// snapshots are compared through [`MetricsSnapshot::diff`] so a
+/// registry divergence lists the exact counters and histograms.
+fn assert_identical(a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.exec_cycles, b.exec_cycles, "{what}: exec_cycles");
+    assert_eq!(a.nodes, b.nodes, "{what}: per-node counters");
+    assert_eq!(a.net, b.net, "{what}: network stats");
+    assert_eq!(a.dir, b.dir, "{what}: directory stats");
+    assert_eq!(a.miss_traces, b.miss_traces, "{what}: miss traces");
+    match (&a.metrics, &b.metrics) {
+        (Some(x), Some(y)) => assert_snapshots_equal(x, y, what),
+        (x, y) => assert_eq!(
+            x.is_some(),
+            y.is_some(),
+            "{what}: one run snapshotted metrics, the other did not"
+        ),
+    }
+}
+
+fn assert_snapshots_equal(a: &MetricsSnapshot, b: &MetricsSnapshot, what: &str) {
+    let diff = a.diff(b);
+    assert!(
+        diff.is_empty(),
+        "{what}: metrics registry diverged:\n  {}",
+        diff.join("\n  ")
+    );
+}
+
+/// Runs one cell serial and sharded and requires bit-identity.
+fn check_cell(app: App, scheme: Option<Scheme>, threads: usize, instrument: bool) {
+    let cfg = cfg_for(scheme, instrument);
+    let wl = app.build_default();
+    let serial = System::new(cfg.clone(), wl.clone()).run();
+    let sharded = System::new(cfg, wl).run_threads(threads);
+    assert_identical(
+        &serial,
+        &sharded,
+        &format!("{app:?} under {scheme:?} at {threads} threads (instrument={instrument})"),
+    );
+}
+
+/// The Ocean column of the grid: every scheme, thread count rotating
+/// 1/2/4, observability registry on — bounded enough for the default
+/// (debug) test pass even on a single-core host.
+#[test]
+fn ocean_all_schemes_sharded_bit_identical() {
+    for (i, scheme) in SCHEMES.into_iter().enumerate() {
+        let threads = THREAD_ROTATION[i % THREAD_ROTATION.len()];
+        check_cell(App::Ocean, scheme, threads, true);
+    }
+}
+
+/// The full scheme × application matrix, thread counts rotating 1/2/4
+/// across cells, a third of them instrumented. Run by `ci.sh` in
+/// release (`--ignored`): sharded cells on a single-core host take
+/// minutes of scheduler round-trips, far too slow for the default pass.
+#[test]
+#[ignore = "full 24-cell sharded matrix; run in release via ci.sh's sharded stage"]
+fn full_matrix_sharded_bit_identical() {
+    let mut cell = 0usize;
+    for app in App::ALL {
+        for scheme in SCHEMES {
+            let threads = THREAD_ROTATION[cell % THREAD_ROTATION.len()];
+            check_cell(app, scheme, threads, cell.is_multiple_of(3));
+            cell += 1;
+        }
+    }
+}
+
+/// The PFSIM_CHECK cell of the grid, sharded: the consistency oracle
+/// rides a 2-thread Ocean run and must agree with the serial checked
+/// run on verdict, observation counts, and every statistic.
+#[test]
+fn sharded_cell_with_oracle_matches_serial() {
+    let cfg = cfg_for(Some(Scheme::Sequential { degree: 1 }), false);
+    let wl = App::Ocean.build_default();
+    let serial = run_checked(cfg.clone(), wl.clone());
+    assert!(serial.ok, "serial checked run: {:#?}", serial.violations);
+    assert!(serial.reads_checked > 0, "oracle judged no reads");
+    let sharded = run_checked_threads(cfg, wl, 2);
+    assert!(sharded.ok, "sharded checked run: {:#?}", sharded.violations);
+    assert_identical(&serial.result, &sharded.result, "oracle cell");
+    assert_eq!(serial.reads_checked, sharded.reads_checked, "reads_checked");
+    assert_eq!(
+        serial.writes_tracked, sharded.writes_tracked,
+        "writes_tracked"
+    );
+    assert_eq!(serial.violations, sharded.violations, "violations");
+}
+
+/// The bench layer dispatches on the threads knob: an [`ExperimentSpec`]
+/// with `.threads(2)` reproduces the serial spec run's totals cell for
+/// cell, and the run records the thread count for its manifest.
+#[test]
+fn spec_threads_knob_is_bit_identical() {
+    use pfsim_bench::ExperimentSpec;
+
+    let spec = |threads: usize| {
+        ExperimentSpec::new("sharded-spec-gate")
+            .apps([App::Ocean])
+            .baseline_and(&[Scheme::DDetection { degree: 1 }])
+            .serial()
+            .threads(threads)
+            .quiet()
+            .run()
+    };
+    let serial = spec(1);
+    let sharded = spec(2);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(sharded.threads, 2);
+    assert_eq!(
+        serial.total_pclocks(),
+        sharded.total_pclocks(),
+        "spec-level pclock totals diverged between serial and 2 threads"
+    );
+    for (s, p) in serial.cells.iter().zip(&sharded.cells) {
+        assert_eq!(
+            s.result.exec_cycles, p.result.exec_cycles,
+            "cell {:?} variant {}",
+            s.app, s.variant
+        );
+    }
+}

@@ -12,9 +12,10 @@
 //! blocks around underneath them.
 
 use pfsim::SystemConfig;
-use pfsim_check::run_checked;
-use pfsim_mem::{Addr, Pc};
+use pfsim_check::{run_checked, run_checked_threads, CheckReport};
+use pfsim_mem::{Addr, Pc, SplitMix64};
 use pfsim_prefetch::Scheme;
+use pfsim_workloads::fuzz::{random_ops, random_workload};
 use pfsim_workloads::{Op, TraceWorkload};
 
 const CPUS: usize = 16;
@@ -167,6 +168,70 @@ fn litmus_all_schemes_paper_baseline() {
 #[test]
 fn litmus_all_schemes_small_cache() {
     run_table(true);
+}
+
+/// Serial and sharded checked runs must agree on *everything* the
+/// oracle can observe: the simulation statistics, the verdict, the
+/// violation strings in discovery order, and the observation counts.
+/// Any divergence means the sharded kernel replayed a check hook out of
+/// serial order.
+fn assert_reports_identical(a: &CheckReport, b: &CheckReport, what: &str) {
+    assert_eq!(
+        a.result.exec_cycles, b.result.exec_cycles,
+        "{what}: exec_cycles"
+    );
+    assert_eq!(a.result.nodes, b.result.nodes, "{what}: per-node counters");
+    assert_eq!(a.result.net, b.result.net, "{what}: network stats");
+    assert_eq!(a.result.dir, b.result.dir, "{what}: directory stats");
+    assert_eq!(a.ok, b.ok, "{what}: verdict");
+    assert_eq!(a.violations, b.violations, "{what}: violations");
+    assert_eq!(a.reads_checked, b.reads_checked, "{what}: reads_checked");
+    assert_eq!(a.writes_tracked, b.writes_tracked, "{what}: writes_tracked");
+}
+
+/// Every litmus shape, checked by the oracle on the sharded kernel at 2
+/// and 4 threads, reports bit-identically to the serial checked run —
+/// the CheckSink hooks fire in the same order with the same arguments.
+#[test]
+fn litmus_sharded_oracle_matches_serial() {
+    for scheme in [Scheme::None, Scheme::DDetection { degree: 1 }] {
+        for (name, wl) in shapes() {
+            let cfg = SystemConfig::paper_baseline().with_scheme(scheme);
+            let serial = run_checked(cfg.clone(), wl.clone());
+            assert!(serial.ok, "litmus {name}: {:#?}", serial.violations);
+            for threads in [2, 4] {
+                let sharded = run_checked_threads(cfg.clone(), wl.clone(), threads);
+                assert_reports_identical(
+                    &serial,
+                    &sharded,
+                    &format!("litmus {name} under {scheme:?} at {threads} threads"),
+                );
+            }
+        }
+    }
+}
+
+/// Fuzz smoke: random traces (fixed seed) through the checked sharded
+/// kernel agree with serial, observation counts included. This is the
+/// adversarial counterpart to the hand-written shapes above — the fuzzer
+/// mixes reads, writes, locks, and barriers in patterns nobody curated.
+#[test]
+fn fuzz_smoke_sharded_oracle_matches_serial() {
+    const BLOCKS: u64 = 32;
+    const LOCKS: u64 = 2;
+    let mut rng = SplitMix64::seed_from_u64(0x5ad_cafe);
+    for case in 0..4 {
+        let wl = random_workload(&random_ops(&mut rng), BLOCKS, LOCKS);
+        let cfg = SystemConfig::paper_baseline().with_finite_slc(1024);
+        let serial = run_checked(cfg.clone(), wl.clone());
+        assert!(serial.ok, "fuzz case {case}: {:#?}", serial.violations);
+        assert!(
+            serial.reads_checked > 0,
+            "fuzz case {case}: judged no reads"
+        );
+        let sharded = run_checked_threads(cfg, wl, 2);
+        assert_reports_identical(&serial, &sharded, &format!("fuzz case {case}"));
+    }
 }
 
 /// The oracle actually resolves observations: in the CoRR shape the

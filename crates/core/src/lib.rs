@@ -65,6 +65,7 @@ mod config;
 pub mod experiment;
 mod msg;
 mod node;
+mod shard;
 mod stats;
 mod sync;
 mod system;

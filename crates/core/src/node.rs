@@ -11,7 +11,7 @@ use pfsim_prefetch::Prefetcher;
 
 use crate::msg::Msg;
 use crate::stats::{MissCause, MissRecord, NodeStats};
-use crate::sync::LockTable;
+use crate::sync::{BarrierTable, LockTable};
 use crate::SystemConfig;
 
 /// What the simulated processor is doing.
@@ -176,6 +176,10 @@ pub(crate) struct Node {
     pub dir_server: FifoServer,
     pub mem: FifoServer,
     pub locks: LockTable,
+    /// Barriers homed at this node (`id % nodes == self`). Keeping the
+    /// table per-node (like `locks`) makes `BarrierArrive` handling
+    /// node-local, which the sharded kernel relies on.
+    pub barriers: BarrierTable,
 
     // --- statistics ---
     pub stats: NodeStats,
@@ -210,6 +214,7 @@ impl Node {
             dir_server: FifoServer::new(),
             mem: FifoServer::new(),
             locks: LockTable::new(),
+            barriers: BarrierTable::new(),
             stats: NodeStats::default(),
             removal: PagedMap::new(),
             miss_trace: Vec::new(),

@@ -1,0 +1,721 @@
+//! The conservative sharded event kernel: intra-run parallelism with
+//! results bit-identical to the serial loop (`DESIGN.md` §12).
+//!
+//! # Shape
+//!
+//! Nodes are partitioned into contiguous shards, one per worker thread.
+//! The leader owns the global `(time, seq)` event queue and pops *cycle
+//! batches*: every event at the earliest pending cycle, in seq order.
+//! Each event is routed to the worker that owns its node; workers execute
+//! their sub-batches against node-local state only, logging every global
+//! effect (schedules, sends, oracle hooks) instead of applying it. The
+//! leader then replays each event's effect group in exact batch order
+//! against the live queue, mesh and oracle.
+//!
+//! # Why this is bit-identical
+//!
+//! Every handler touches only its event's node plus the effect context
+//! (the sharding invariant — `Ev::node` is the key, and `pfsim-lint`
+//! pins the clock writes). Two events in one batch therefore commute on
+//! node state unless they share a node, in which case the same worker
+//! runs them in batch (= serial) order. Replaying effect groups in batch
+//! order reproduces the serial kernel's sequence-number assignment, its
+//! calendar-queue evolution, its per-link mesh FIFO order and its oracle
+//! hook order exactly — so pclocks, stats, metrics snapshots and
+//! `PFSIM_CHECK=1` verdicts all match the serial kernel bit-for-bit.
+//!
+//! The serial kernel's event *fusion* (continuing inline when the
+//! scheduled event would pop next) is reproduced by elision-equivalent
+//! marking: workers cannot see the global queue, so they always schedule
+//! and tag the three fusion sites `fusable`. At replay the leader
+//! re-evaluates the exact serial guard (`peek > at`, and the event is
+//! the last of its batch) and marks the scheduled event; a marked event
+//! pops as a singleton batch and is skipped by instrumentation and the
+//! clock fold, exactly as if it had never existed — which is what the
+//! serial kernel's fusion does.
+//!
+//! The cross-shard lookahead of classic conservative PDES appears here as
+//! a checked invariant rather than a window size: every remote delivery
+//! must arrive at least [`pfsim_network::MeshConfig::lookahead`] cycles
+//! after it was sent (`debug_assert`ed at replay), which is what makes
+//! the one-cycle batch horizon safe.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use pfsim_coherence::ActionBuf;
+use pfsim_engine::{Cycle, EventQueue};
+use pfsim_mem::{Addr, BlockAddr, NodeId};
+use pfsim_network::{Mesh, MessageKind};
+use pfsim_workloads::Workload;
+
+use crate::check::CheckSink;
+use crate::msg::Msg;
+use crate::node::Node;
+use crate::stats::SimResult;
+use crate::system::{Core, Ev, Fx, Obs, System};
+use crate::SystemConfig;
+
+/// One global effect recorded by a worker, to be replayed by the leader
+/// in deterministic order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Effect {
+    /// Schedule `ev` at `at`. `fusable` marks the three serial fusion
+    /// sites, whose guard the leader re-evaluates at replay.
+    Schedule {
+        /// Target cycle.
+        at: Cycle,
+        /// The event.
+        ev: Ev,
+        /// Whether the serial kernel might have elided this schedule.
+        fusable: bool,
+    },
+    /// Reserve mesh bandwidth for `msg` and schedule its delivery.
+    Send {
+        /// Send cycle.
+        at: Cycle,
+        /// Source node.
+        from: u16,
+        /// Destination node.
+        to: u16,
+        /// The message (its kind determines the flit count).
+        msg: Msg,
+    },
+    /// An oracle hook observed by the handler.
+    Hook(HookRecord),
+}
+
+/// A deferred [`CheckSink`] call: the hook name plus its arguments,
+/// recorded by a worker and delivered by the leader in serial order so
+/// the oracle sees the exact serial call sequence under sharding.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // field names mirror the CheckSink method signatures
+pub(crate) enum HookRecord {
+    WriteIssued {
+        cpu: u16,
+        addr: Addr,
+    },
+    ReadFlcHit {
+        cpu: u16,
+        addr: Addr,
+    },
+    ReadRequest {
+        cpu: u16,
+        addr: Addr,
+    },
+    ReadCompleted {
+        cpu: u16,
+        block: BlockAddr,
+    },
+    WriteApplied {
+        cpu: u16,
+        addr: Addr,
+    },
+    WriteDeferred {
+        cpu: u16,
+        addr: Addr,
+    },
+    Fill {
+        cpu: u16,
+        block: BlockAddr,
+        exclusive: bool,
+    },
+    Promote {
+        cpu: u16,
+        block: BlockAddr,
+    },
+    PromoteFailed {
+        cpu: u16,
+        block: BlockAddr,
+    },
+    Evict {
+        cpu: u16,
+        block: BlockAddr,
+        dirty: bool,
+    },
+    Invalidated {
+        cpu: u16,
+        block: BlockAddr,
+    },
+    FetchSupplied {
+        cpu: u16,
+        block: BlockAddr,
+        inval: bool,
+        had_copy: bool,
+    },
+    ReleaseDrained {
+        cpu: u16,
+        lock: Addr,
+    },
+    BarrierDrained {
+        cpu: u16,
+        id: u32,
+    },
+    LockGranted {
+        cpu: u16,
+        lock: Addr,
+    },
+    BarrierReleased {
+        cpu: u16,
+        id: u32,
+    },
+    HomeBegin {
+        home: u16,
+        block: BlockAddr,
+    },
+    HomeBeginWriteback {
+        home: u16,
+        block: BlockAddr,
+        from: u16,
+    },
+    HomeBeginFetch {
+        home: u16,
+        block: BlockAddr,
+        had_copy: bool,
+    },
+    HomeReadMemory {
+        block: BlockAddr,
+    },
+    HomeWriteMemory {
+        block: BlockAddr,
+    },
+    HomeSendData {
+        block: BlockAddr,
+        to: u16,
+    },
+}
+
+/// Delivers one recorded hook to the sink. This is the single point
+/// where the simulator calls into [`CheckSink`] — the serial kernel
+/// routes its live hooks through here too, so both kernels drive the
+/// oracle through one audited surface.
+pub(crate) fn replay_hook(sink: &mut dyn CheckSink, rec: HookRecord) {
+    match rec {
+        HookRecord::WriteIssued { cpu, addr } => sink.write_issued(cpu, addr),
+        HookRecord::ReadFlcHit { cpu, addr } => sink.read_flc_hit(cpu, addr),
+        HookRecord::ReadRequest { cpu, addr } => sink.read_request(cpu, addr),
+        HookRecord::ReadCompleted { cpu, block } => sink.read_completed(cpu, block),
+        HookRecord::WriteApplied { cpu, addr } => sink.write_applied(cpu, addr),
+        HookRecord::WriteDeferred { cpu, addr } => sink.write_deferred(cpu, addr),
+        HookRecord::Fill {
+            cpu,
+            block,
+            exclusive,
+        } => sink.fill(cpu, block, exclusive),
+        HookRecord::Promote { cpu, block } => sink.promote(cpu, block),
+        HookRecord::PromoteFailed { cpu, block } => sink.promote_failed(cpu, block),
+        HookRecord::Evict { cpu, block, dirty } => sink.evict(cpu, block, dirty),
+        HookRecord::Invalidated { cpu, block } => sink.invalidated(cpu, block),
+        HookRecord::FetchSupplied {
+            cpu,
+            block,
+            inval,
+            had_copy,
+        } => sink.fetch_supplied(cpu, block, inval, had_copy),
+        HookRecord::ReleaseDrained { cpu, lock } => sink.release_drained(cpu, lock),
+        HookRecord::BarrierDrained { cpu, id } => sink.barrier_drained(cpu, id),
+        HookRecord::LockGranted { cpu, lock } => sink.lock_granted(cpu, lock),
+        HookRecord::BarrierReleased { cpu, id } => sink.barrier_released(cpu, id),
+        HookRecord::HomeBegin { home, block } => sink.home_begin(home, block),
+        HookRecord::HomeBeginWriteback { home, block, from } => {
+            sink.home_begin_writeback(home, block, from)
+        }
+        HookRecord::HomeBeginFetch {
+            home,
+            block,
+            had_copy,
+        } => sink.home_begin_fetch(home, block, had_copy),
+        HookRecord::HomeReadMemory { block } => sink.home_read_memory(block),
+        HookRecord::HomeWriteMemory { block } => sink.home_write_memory(block),
+        HookRecord::HomeSendData { block, to } => sink.home_send_data(block, to),
+    }
+}
+
+/// Epoch value signalling a worker to exit its loop.
+const SHUTDOWN: u32 = u32::MAX;
+/// `done` value a worker publishes when it panics, so the leader stops
+/// waiting and fails loudly instead of hanging.
+const POISONED: u32 = u32::MAX;
+
+/// The leader→worker / worker→leader handshake for one worker.
+///
+/// Strict alternation: the leader writes the inbox (under the mutex),
+/// then publishes a new `epoch`; the worker executes, then publishes
+/// `done = epoch`. The mutex transfer orders the data; the atomics only
+/// carry the turn signal.
+struct Gate {
+    epoch: AtomicU32,
+    done: AtomicU32,
+}
+
+/// The mutex-protected half of a worker's mailbox.
+struct WorkerIo {
+    /// Events for this round, in batch order: `(cycle, event)`.
+    inbox: Vec<(Cycle, Ev)>,
+    /// Flat effect log for the round; one contiguous group per event.
+    effects: Vec<Effect>,
+    /// Per executed event: (exclusive end index into `effects`, MSHR
+    /// occupancy of the event's node when the event started — the exact
+    /// value the serial kernel samples at pop time).
+    ends: Vec<(u32, u32)>,
+}
+
+/// One worker's shared mailbox.
+struct Cell {
+    gate: Gate,
+    io: Mutex<WorkerIo>,
+}
+
+impl Cell {
+    fn new() -> Self {
+        Cell {
+            gate: Gate {
+                epoch: AtomicU32::new(0),
+                done: AtomicU32::new(0),
+            },
+            io: Mutex::new(WorkerIo {
+                inbox: Vec::new(),
+                effects: Vec::new(),
+                ends: Vec::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, WorkerIo> {
+        // A worker that panicked poisons the mutex on the way out; the
+        // leader detects that through `done == POISONED` and panics
+        // itself, so recovering the data here is always safe.
+        self.io.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Spin-waits until `pred(atomic)` holds, yielding the CPU after a short
+/// burst so a single-core host (or an oversubscribed one) still makes
+/// progress through its scheduler.
+fn wait_until(atomic: &AtomicU32, pred: impl Fn(u32) -> bool) -> u32 {
+    let mut spins = 0u32;
+    loop {
+        let v = atomic.load(Ordering::Acquire);
+        if pred(v) {
+            return v;
+        }
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Publishes [`POISONED`] if the worker unwinds, so the leader's wait
+/// terminates with a diagnostic instead of spinning forever. Disarmed
+/// (forgotten) on clean shutdown.
+struct PoisonOnPanic<'a>(&'a AtomicU32);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        self.0.store(POISONED, Ordering::Release);
+    }
+}
+
+/// The per-run constants a round needs: the config, the first node
+/// index of the executing shard, and the two mode flags.
+#[derive(Clone, Copy)]
+struct RoundCtx<'a> {
+    cfg: &'a SystemConfig,
+    base: usize,
+    check_on: bool,
+    instrumented: bool,
+}
+
+/// Executes one round's inbox against the worker's node slice, filling
+/// the effect log. Shared by the worker threads and the `threads <= 1`
+/// inline path so the two can never diverge.
+fn execute_round<W: Workload>(
+    ctx: RoundCtx<'_>,
+    nodes: &mut [Node],
+    workload: &mut W,
+    dir_actions: &mut ActionBuf,
+    io: &mut WorkerIo,
+) {
+    io.effects.clear();
+    io.ends.clear();
+    for &(t, ev) in &io.inbox {
+        let mshr = if ctx.instrumented {
+            nodes[ev.node() as usize - ctx.base].mshr.len() as u32
+        } else {
+            0
+        };
+        let mut core = Core {
+            cfg: ctx.cfg,
+            base: ctx.base,
+            nodes,
+            workload,
+            fx: Fx::Log {
+                buf: &mut io.effects,
+                check_on: ctx.check_on,
+            },
+            dir_actions,
+        };
+        core.dispatch(ev, t);
+        io.ends.push((io.effects.len() as u32, mshr));
+    }
+}
+
+/// A worker thread's life: wait for an epoch, execute the round, publish
+/// completion; exit on [`SHUTDOWN`].
+fn worker_loop<W: Workload>(ctx: RoundCtx<'_>, nodes: &mut [Node], mut workload: W, cell: &Cell) {
+    let poison = PoisonOnPanic(&cell.gate.done);
+    let mut dir_actions = ActionBuf::default();
+    let mut seen = 0u32;
+    loop {
+        let epoch = wait_until(&cell.gate.epoch, |v| v != seen);
+        if epoch == SHUTDOWN {
+            break;
+        }
+        seen = epoch;
+        {
+            let mut io = cell.lock();
+            execute_round(ctx, nodes, &mut workload, &mut dir_actions, &mut io);
+        }
+        cell.gate.done.store(epoch, Ordering::Release);
+    }
+    std::mem::forget(poison);
+}
+
+/// The leader's live half of the simulation: the global queue (carrying
+/// the elision mark per event), the mesh, the oracle and the metrics.
+struct Leader<'a> {
+    queue: EventQueue<(Ev, bool)>,
+    mesh: &'a mut Mesh,
+    check: &'a mut Option<Box<dyn CheckSink>>,
+    obs: &'a mut Obs,
+    last_time: &'a mut Cycle,
+    cfg: &'a SystemConfig,
+    /// Minimum cross-node delivery latency (`MeshConfig::lookahead`);
+    /// the conservative horizon every remote send must respect.
+    lookahead: u64,
+    instrumented: bool,
+}
+
+impl Leader<'_> {
+    /// Pops the next cycle batch — every event at the earliest pending
+    /// cycle, in `(time, seq)` order — and folds the batch's cycle into
+    /// the clock exactly as the serial loop would: once per *unelided*
+    /// pop. Returns the batch cycle, or `None` when the queue is dry.
+    fn next_batch(&mut self, batch: &mut Vec<(Ev, bool)>) -> Option<Cycle> {
+        batch.clear();
+        let (t, first) = self.queue.pop()?;
+        batch.push(first);
+        while self.queue.peek_time() == Some(t) {
+            if let Some((_, next)) = self.queue.pop() {
+                batch.push(next);
+            }
+        }
+        if batch.iter().any(|&(_, marked)| !marked) {
+            *self.last_time = (*self.last_time).max(t);
+        }
+        Some(t)
+    }
+
+    /// Replays the effect group of one batch member: samples the serial
+    /// kernel's pop-time instrumentation, then applies schedules, sends
+    /// and hooks in recorded order against the live state.
+    fn replay_group(&mut self, member: Member, effects: &[Effect]) {
+        let Member {
+            ev,
+            marked,
+            i,
+            m,
+            mshr,
+        } = member;
+        if self.instrumented && !marked {
+            let (wheel, overdue, overflow) = self.queue.depth_profile();
+            // Batch members i+1..m were popped eagerly here but would
+            // still sit in the calendar wheel's cursor bucket when the
+            // serial kernel samples event i: add them back.
+            let depth = (wheel + overdue + overflow + (m - 1 - i)) as u64;
+            self.obs
+                .observe_raw(&ev, depth, overflow as u64, mshr as u64);
+        }
+        let last = effects.len();
+        for (j, eff) in effects.iter().enumerate() {
+            match *eff {
+                Effect::Schedule { at, ev, fusable } => {
+                    // The serial fusion guard, re-run at the exact point
+                    // the serial kernel would have run it. A fusable
+                    // schedule is structurally the final effect of its
+                    // handler, so after replaying it the live queue equals
+                    // the serial kernel's queue at guard time; the guard
+                    // can additionally only hold for the batch's last
+                    // member (an unreplayed later member implies a
+                    // same-cycle event the serial guard would see).
+                    debug_assert!(
+                        !fusable || j + 1 == last,
+                        "fusable schedule must be its handler's final effect"
+                    );
+                    let mark =
+                        fusable && i + 1 == m && self.queue.peek_time().is_none_or(|p| p > at);
+                    self.queue.schedule(at, (ev, mark));
+                }
+                Effect::Send { at, from, to, msg } => {
+                    let flits = msg.kind().flits_for(self.cfg.geometry.block_bytes());
+                    let arrival = self
+                        .mesh
+                        .send(at, NodeId::new(from), NodeId::new(to), flits);
+                    debug_assert!(
+                        from == to || arrival >= at + self.lookahead,
+                        "remote delivery inside the conservative lookahead horizon"
+                    );
+                    self.queue.schedule(arrival, (Ev::Deliver(to, msg), false));
+                }
+                Effect::Hook(rec) => {
+                    if let Some(sink) = self.check.as_deref_mut() {
+                        replay_hook(sink, rec);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One batch member at replay time: its event, its elision mark, its
+/// position `i` of `m` within the batch, and the MSHR depth its worker
+/// sampled at dispatch.
+#[derive(Clone, Copy)]
+struct Member {
+    ev: Ev,
+    marked: bool,
+    i: usize,
+    m: usize,
+    mshr: u32,
+}
+
+/// Runs `sys` to completion on the sharded kernel. See
+/// [`System::run_threads`] for the public contract.
+pub(crate) fn run_threads<W>(sys: &mut System<W>, threads: usize) -> SimResult
+where
+    W: Workload + Clone + Send,
+{
+    let instrumented = sys.obs.reg.enabled();
+    let node_count = usize::from(sys.cfg.nodes);
+    let threads = threads.clamp(1, node_count);
+    // Contiguous shards: node n belongs to worker n / shard_size. The
+    // mesh is bypassed for node-local transfers, so shards must contain
+    // whole nodes — which they do by construction.
+    let shard_size = node_count.div_ceil(threads);
+    let workers = node_count.div_ceil(shard_size);
+
+    let check_on = sys.check.is_some();
+    let min_flits = MessageKind::Control.flits_for(sys.cfg.geometry.block_bytes());
+    let lookahead = sys.cfg.mesh.lookahead(min_flits);
+
+    {
+        let System {
+            cfg,
+            workload,
+            mesh,
+            nodes,
+            last_time,
+            obs,
+            check,
+            ..
+        } = &mut *sys;
+        let cfg: &SystemConfig = cfg;
+
+        let mut queue: EventQueue<(Ev, bool)> = EventQueue::new();
+        for n in 0..cfg.nodes {
+            queue.schedule(Cycle::ZERO, (Ev::CpuStep(n), false));
+        }
+        let mut leader = Leader {
+            queue,
+            mesh,
+            check,
+            obs,
+            last_time,
+            cfg,
+            lookahead,
+            instrumented,
+        };
+        let mut batch: Vec<(Ev, bool)> = Vec::new();
+
+        if workers <= 1 {
+            // Inline reference: the identical batch/log/replay machinery
+            // with no threads. `run_threads(1)` differing from `run()`
+            // would indict the shard protocol itself.
+            let mut dir_actions = ActionBuf::default();
+            let mut io = WorkerIo {
+                inbox: Vec::new(),
+                effects: Vec::new(),
+                ends: Vec::new(),
+            };
+            let ctx = RoundCtx {
+                cfg,
+                base: 0,
+                check_on,
+                instrumented,
+            };
+            while let Some(t) = leader.next_batch(&mut batch) {
+                io.inbox.clear();
+                io.inbox.extend(batch.iter().map(|&(ev, _)| (t, ev)));
+                execute_round(ctx, nodes, workload, &mut dir_actions, &mut io);
+                let m = batch.len();
+                let mut start = 0usize;
+                for (i, &(ev, marked)) in batch.iter().enumerate() {
+                    let (end, mshr) = io.ends[i];
+                    let member = Member {
+                        ev,
+                        marked,
+                        i,
+                        m,
+                        mshr,
+                    };
+                    leader.replay_group(member, &io.effects[start..end as usize]);
+                    start = end as usize;
+                }
+            }
+        } else {
+            let cells: Vec<Cell> = (0..workers).map(|_| Cell::new()).collect();
+            std::thread::scope(|scope| {
+                for (w, shard) in nodes.chunks_mut(shard_size).enumerate() {
+                    let wl = workload.clone();
+                    let cell = &cells[w];
+                    let ctx = RoundCtx {
+                        cfg,
+                        base: w * shard_size,
+                        check_on,
+                        instrumented,
+                    };
+                    scope.spawn(move || {
+                        worker_loop(ctx, shard, wl, cell);
+                    });
+                }
+
+                let mut staging: Vec<Vec<(Cycle, Ev)>> = vec![Vec::new(); workers];
+                let mut involved: Vec<bool> = vec![false; workers];
+                let mut rounds: Vec<u32> = vec![0; workers];
+                let mut guards: Vec<Option<MutexGuard<'_, WorkerIo>>> =
+                    (0..workers).map(|_| None).collect();
+                let mut group: Vec<usize> = vec![0; workers];
+                let mut start: Vec<usize> = vec![0; workers];
+
+                while let Some(t) = leader.next_batch(&mut batch) {
+                    for (s, inv) in staging.iter_mut().zip(involved.iter_mut()) {
+                        s.clear();
+                        *inv = false;
+                    }
+                    for &(ev, _) in &batch {
+                        let w = ev.node() as usize / shard_size;
+                        involved[w] = true;
+                        staging[w].push((t, ev));
+                    }
+                    for w in 0..workers {
+                        if !involved[w] {
+                            continue;
+                        }
+                        {
+                            let mut io = cells[w].lock();
+                            std::mem::swap(&mut io.inbox, &mut staging[w]);
+                        }
+                        rounds[w] += 1;
+                        debug_assert!(rounds[w] < SHUTDOWN);
+                        cells[w].gate.epoch.store(rounds[w], Ordering::Release);
+                    }
+                    for (w, cell) in cells.iter().enumerate() {
+                        if !involved[w] {
+                            continue;
+                        }
+                        let done = wait_until(&cell.gate.done, |v| v == rounds[w] || v == POISONED);
+                        assert!(
+                            done != POISONED,
+                            "sharded kernel worker {w} panicked; see its message above"
+                        );
+                        guards[w] = Some(cell.lock());
+                        group[w] = 0;
+                        start[w] = 0;
+                    }
+                    let m = batch.len();
+                    for (i, &(ev, marked)) in batch.iter().enumerate() {
+                        let w = ev.node() as usize / shard_size;
+                        // pfsim-lint: allow(K002) -- leader/worker handshake guarantees the guard is held for involved workers
+                        let io = guards[w].as_deref().expect("involved worker not locked");
+                        let (end, mshr) = io.ends[group[w]];
+                        group[w] += 1;
+                        let effects = &io.effects[start[w]..end as usize];
+                        start[w] = end as usize;
+                        let member = Member {
+                            ev,
+                            marked,
+                            i,
+                            m,
+                            mshr,
+                        };
+                        leader.replay_group(member, effects);
+                    }
+                    for g in &mut guards {
+                        *g = None;
+                    }
+                }
+
+                for cell in &cells {
+                    cell.gate.epoch.store(SHUTDOWN, Ordering::Release);
+                }
+            });
+        }
+    }
+    sys.finish_run(instrumented)
+}
+
+#[cfg(test)]
+mod tests {
+    use pfsim_prefetch::Scheme;
+    use pfsim_workloads::{micro, TraceWorkload};
+
+    use crate::stats::SimResult;
+    use crate::{System, SystemConfig};
+
+    fn identical(a: &SimResult, b: &SimResult, what: &str) {
+        assert_eq!(a.exec_cycles, b.exec_cycles, "{what}: exec_cycles");
+        assert_eq!(a.nodes, b.nodes, "{what}: per-node counters");
+        assert_eq!(a.net, b.net, "{what}: network stats");
+        assert_eq!(a.dir, b.dir, "{what}: directory stats");
+        assert_eq!(a.miss_traces, b.miss_traces, "{what}: miss traces");
+        assert_eq!(a.metrics, b.metrics, "{what}: metrics snapshot");
+    }
+
+    fn mixes() -> Vec<(&'static str, TraceWorkload)> {
+        vec![
+            ("walk", micro::sequential_walk(16, 96, 2)),
+            ("prodcons", micro::producer_consumer(16, 48)),
+            ("locks", micro::lock_ping_pong(16, 6)),
+            ("random", micro::random_access(16, 128, 400)),
+        ]
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_micro_mixes() {
+        for (name, wl) in mixes() {
+            let cfg = SystemConfig::paper_baseline().with_scheme(Scheme::Sequential { degree: 2 });
+            let serial = System::new(cfg.clone(), wl.clone()).run();
+            for threads in [1usize, 2, 4] {
+                let sharded = System::new(cfg.clone(), wl.clone()).run_threads(threads);
+                identical(&serial, &sharded, &format!("{name} @ {threads} threads"));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_with_instrumentation() {
+        let cfg = SystemConfig::paper_baseline()
+            .with_scheme(Scheme::DDetection { degree: 1 })
+            .with_instrumentation(true);
+        let wl = micro::producer_consumer(16, 48);
+        let serial = System::new(cfg.clone(), wl.clone()).run();
+        assert!(serial.metrics.is_some(), "instrumented run must snapshot");
+        for threads in [1usize, 2, 4] {
+            let sharded = System::new(cfg.clone(), wl.clone()).run_threads(threads);
+            identical(&serial, &sharded, &format!("instrumented @ {threads}"));
+        }
+    }
+}

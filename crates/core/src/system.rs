@@ -1,5 +1,12 @@
 //! The full-system simulator: 16 processing nodes, the directory protocol
 //! and the mesh, driven by one deterministic event loop.
+//!
+//! The event handlers are written against a [`Core`] view — a node
+//! sub-slice plus an effect context [`Fx`] — so the same handler code
+//! serves two kernels: the serial loop (`Fx::Live`, effects applied
+//! immediately) and the sharded loop of [`crate::shard`] (`Fx::Log`,
+//! effects recorded by a worker and replayed in deterministic order by
+//! the leader).
 
 use pfsim_cache::{Eviction, LineState};
 use pfsim_coherence::{ActionBuf, DirAction, DirRequest, DirStats};
@@ -12,13 +19,13 @@ use pfsim_workloads::{Op, Workload};
 use crate::check::CheckSink;
 use crate::msg::Msg;
 use crate::node::{CpuStatus, DrainBlock, FlwbEntry, MshrEntry, Node, TxnKind};
+use crate::shard::{Effect, HookRecord};
 use crate::stats::{MissRecord, SimResult};
-use crate::sync::BarrierTable;
 use crate::{RecordMisses, SystemConfig};
 
 /// Events of the system-level simulation.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// Run the processor of node `n`.
     CpuStep(u16),
     /// The SLC of node `n` services its next queued job.
@@ -27,13 +34,23 @@ enum Ev {
     Deliver(u16, Msg),
 }
 
+impl Ev {
+    /// The node the event executes on (the sharding key: every handler
+    /// touches only this node's state plus the effect context).
+    pub(crate) fn node(&self) -> u16 {
+        match *self {
+            Ev::CpuStep(n) | Ev::SlcWork(n) | Ev::Deliver(n, _) => n,
+        }
+    }
+}
+
 /// The observability registry plus pre-registered handles for the metrics
 /// the event loop touches. Hot-path updates go through the index handles
 /// (no name lookups); end-of-run gauges use `Registry::record` by name.
 /// Every mutating registry call is a no-op behind one predictable branch
 /// when instrumentation is off.
-struct Obs {
-    reg: Registry,
+pub(crate) struct Obs {
+    pub(crate) reg: Registry,
     ev_cpu_step: CounterId,
     ev_slc_work: CounterId,
     ev_deliver: CounterId,
@@ -55,9 +72,26 @@ impl Obs {
             reg,
         }
     }
+
+    /// One per-event sample with the queue-depth components and the MSHR
+    /// occupancy supplied by the caller. The serial loop reads them off
+    /// the live queue and node; the sharded leader reconstructs the
+    /// serial-equivalent values (see `crate::shard`). Keeping one shared
+    /// entry point is what makes the two kernels' metrics bit-identical.
+    pub(crate) fn observe_raw(&mut self, ev: &Ev, depth: u64, overflow: u64, mshr: u64) {
+        self.reg.observe(self.queue_depth, depth);
+        self.reg.observe(self.queue_overflow, overflow);
+        let counter = match ev {
+            Ev::CpuStep(_) => self.ev_cpu_step,
+            Ev::SlcWork(_) => self.ev_slc_work,
+            Ev::Deliver(..) => self.ev_deliver,
+        };
+        self.reg.inc(counter, 1);
+        self.reg.observe(self.mshr_occupancy, mshr);
+    }
 }
 
-/// Outcome of one FLWB drain attempt (see [`System::slc_drain_one`]).
+/// Outcome of one FLWB drain attempt (see [`Core::slc_drain_one`]).
 enum Drained {
     /// An entry was consumed; service may continue.
     One,
@@ -69,10 +103,1370 @@ enum Drained {
     ParkedUntil(Cycle),
 }
 
+/// Where a handler's effects go.
+///
+/// `Live` is the serial kernel: schedules, sends and oracle hooks apply
+/// immediately against the event queue, the mesh and the installed
+/// [`CheckSink`]. `Log` is a sharded worker: the handler owns only its
+/// shard's nodes, so every externally visible effect is appended to a
+/// buffer for the leader to replay in deterministic `(time, seq)` order.
+///
+/// The serial kernel's event-fusion fast paths key off
+/// [`can_fuse`](Self::can_fuse), which is constantly `false` under `Log`:
+/// a worker cannot see the global queue, so it always schedules, and
+/// marks the schedule *fusable* instead. At replay the leader re-evaluates
+/// the exact serial fusion guard against the live queue and marks the
+/// event as elided-equivalent when the guard holds, which reproduces the
+/// fused kernel's event counts and clock updates bit-for-bit (see
+/// `crate::shard`).
+pub(crate) enum Fx<'a> {
+    /// Apply effects immediately (the serial kernel).
+    Live {
+        /// The live event queue.
+        queue: &'a mut EventQueue<Ev>,
+        /// The live mesh.
+        mesh: &'a mut Mesh,
+        /// The installed correctness observer, if any.
+        check: &'a mut Option<Box<dyn CheckSink>>,
+    },
+    /// Record effects for deterministic replay (a sharded worker).
+    Log {
+        /// The worker's effect buffer for the current event.
+        buf: &'a mut Vec<Effect>,
+        /// Whether a check sink is installed on the system (hooks are
+        /// logged only when someone will replay them).
+        check_on: bool,
+    },
+}
+
+impl Fx<'_> {
+    /// Schedules `ev` at `at` (a regular, never-elided event).
+    fn schedule(&mut self, at: Cycle, ev: Ev) {
+        match self {
+            Fx::Live { queue, .. } => queue.schedule(at, ev),
+            Fx::Log { buf, .. } => buf.push(Effect::Schedule {
+                at,
+                ev,
+                fusable: false,
+            }),
+        }
+    }
+
+    /// Schedules `ev` at `at` from a fusion site: under `Live` this is an
+    /// ordinary schedule (the caller already evaluated the fusion guard
+    /// and it failed); under `Log` the schedule is tagged fusable so the
+    /// leader can re-evaluate the guard at replay time.
+    fn schedule_fusable(&mut self, at: Cycle, ev: Ev) {
+        match self {
+            Fx::Live { queue, .. } => queue.schedule(at, ev),
+            Fx::Log { buf, .. } => buf.push(Effect::Schedule {
+                at,
+                ev,
+                fusable: true,
+            }),
+        }
+    }
+
+    /// Sends `msg` from `from` to `to`, reserving mesh bandwidth at `at`.
+    /// Data messages are sized by the geometry's block size.
+    fn send(&mut self, geometry: Geometry, at: Cycle, from: u16, to: u16, msg: Msg) {
+        match self {
+            Fx::Live { queue, mesh, .. } => {
+                let flits = msg.kind().flits_for(geometry.block_bytes());
+                let arrival = mesh.send(at, NodeId::new(from), NodeId::new(to), flits);
+                queue.schedule(arrival, Ev::Deliver(to, msg));
+            }
+            Fx::Log { buf, .. } => buf.push(Effect::Send { at, from, to, msg }),
+        }
+    }
+
+    /// Whether oracle hooks are live (construct a [`HookRecord`] only when
+    /// this returns true; the disabled path stays one predictable branch).
+    fn check_on(&self) -> bool {
+        match self {
+            Fx::Live { check, .. } => check.is_some(),
+            Fx::Log { check_on, .. } => *check_on,
+        }
+    }
+
+    /// Delivers (or logs) one oracle hook.
+    fn hook(&mut self, rec: HookRecord) {
+        match self {
+            Fx::Live { check, .. } => {
+                if let Some(k) = check.as_deref_mut() {
+                    crate::shard::replay_hook(k, rec);
+                }
+            }
+            Fx::Log { buf, check_on } => {
+                if *check_on {
+                    buf.push(Effect::Hook(rec));
+                }
+            }
+        }
+    }
+
+    /// The serial event-fusion guard: true when an event scheduled at `at`
+    /// would pop as the very next event with state identical to right now,
+    /// so the handler may continue inline instead. The peek must be strict
+    /// (`> at`): a same-time event with an earlier sequence number would
+    /// pop first, and fusing past it would reorder the simulation. Always
+    /// false under `Log` (a worker cannot see the global queue).
+    fn can_fuse(&self, at: Cycle) -> bool {
+        match self {
+            Fx::Live { queue, .. } => queue.peek_time().is_none_or(|p| p > at),
+            Fx::Log { .. } => false,
+        }
+    }
+}
+
+/// Home node of `block` under the configured page placement.
+pub(crate) fn home_of(cfg: &SystemConfig, block: BlockAddr) -> u16 {
+    cfg.placement
+        .home_of(cfg.geometry.page_of_block(block))
+        .as_u16()
+}
+
+/// Home node of the page containing `addr`.
+pub(crate) fn home_of_addr(cfg: &SystemConfig, addr: Addr) -> u16 {
+    cfg.placement.home_of(cfg.geometry.page_of(addr)).as_u16()
+}
+
+/// Schedules SLC service for node `n`. If a later `SlcWork` is already
+/// pending (e.g. parked on a future-issued FLWB entry), an earlier
+/// request re-arms service sooner; the stale event is harmless (it
+/// re-checks state when it fires). `fusable` is set only by the message
+///-delivery site whose serial twin may serve the message inline (the
+/// deliver fast path); all other callers always schedule for real.
+fn notify_slc(node: &mut Node, fx: &mut Fx, n: u16, at: Cycle, fusable: bool) {
+    let target = at.max(node.slc_server.free_at());
+    match node.slc_scheduled_at {
+        Some(scheduled) if scheduled <= target => {}
+        _ => {
+            node.slc_scheduled_at = Some(target);
+            if fusable {
+                fx.schedule_fusable(target, Ev::SlcWork(n));
+            } else {
+                fx.schedule(target, Ev::SlcWork(n));
+            }
+        }
+    }
+}
+
+/// Defers `op` because the FLWB is full: the processor stalls until the
+/// SLC drains an entry, then retries the operation.
+fn defer_for_flwb(node: &mut Node, fx: &mut Fx, n: u16, op: Op, t: Cycle) {
+    node.pending_op = Some(op);
+    block_cpu(node, fx, n, CpuStatus::WaitFlwb, t);
+}
+
+/// Blocks the processor in `status` at time `t` and kicks SLC service (the
+/// blocking operation's FLWB entry is already queued).
+fn block_cpu(node: &mut Node, fx: &mut Fx, n: u16, status: CpuStatus, t: Cycle) {
+    node.status = status;
+    node.issue_time = t;
+    node.cpu_time = t;
+    notify_slc(node, fx, n, t, false);
+}
+
+/// One kernel's view of the machine while executing a single event: the
+/// shared config, a contiguous node slice (`nodes[0]` is global node
+/// `base`), the workload, and the effect context. The serial kernel
+/// builds one per popped event over all nodes with `Fx::Live`; a sharded
+/// worker builds one over its shard with `Fx::Log`.
+///
+/// Every handler is strictly node-local: it touches `nodes[ev.node() -
+/// base]` and nothing else outside `fx`. That locality is the entire
+/// basis of the sharded kernel's determinism argument (DESIGN.md §12),
+/// so new handler code must preserve it.
+pub(crate) struct Core<'a, W: Workload> {
+    pub(crate) cfg: &'a SystemConfig,
+    pub(crate) base: usize,
+    pub(crate) nodes: &'a mut [Node],
+    pub(crate) workload: &'a mut W,
+    pub(crate) fx: Fx<'a>,
+    pub(crate) dir_actions: &'a mut ActionBuf,
+}
+
+impl<W: Workload> Core<'_, W> {
+    /// Executes one event at time `t`.
+    pub(crate) fn dispatch(&mut self, ev: Ev, t: Cycle) {
+        match ev {
+            Ev::CpuStep(n) => self.cpu_step(n, t),
+            Ev::SlcWork(n) => self.slc_work(n, t),
+            Ev::Deliver(n, msg) => self.deliver(n, msg, t),
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Processor
+    // ----------------------------------------------------------------
+
+    /// Runs the processor of node `n` from its local time until it blocks,
+    /// finishes, or exhausts its time slice.
+    ///
+    /// The node, workload and effect context are split-borrowed once up
+    /// front: this loop consumes every trace operation, so it must not
+    /// re-index `self.nodes` or round-trip `pending_op` through memory
+    /// per op.
+    fn cpu_step(&mut self, n: u16, now: Cycle) {
+        let ni = n as usize - self.base;
+        let Core {
+            cfg,
+            workload,
+            nodes,
+            fx,
+            ..
+        } = self;
+        let node = &mut nodes[ni];
+        if node.status != CpuStatus::Ready {
+            return;
+        }
+        let mut t = node.cpu_time.max(now);
+        let slice_end = t + cfg.cpu_slice;
+        let geometry = cfg.geometry;
+        let sequential = cfg.consistency == crate::ConsistencyModel::Sequential;
+        let mut pending = node.pending_op.take();
+
+        loop {
+            if t >= slice_end {
+                node.cpu_time = t;
+                fx.schedule(t, Ev::CpuStep(n));
+                return;
+            }
+            let op = match pending.take() {
+                Some(op) => op,
+                // The workload is indexed by *global* cpu number: a
+                // sharded worker's clone has all 16 streams but only
+                // ever advances its own nodes'.
+                None => match workload.next(n as usize) {
+                    Some(op) => op,
+                    None => {
+                        node.status = CpuStatus::Done;
+                        node.cpu_time = t;
+                        return;
+                    }
+                },
+            };
+            match op {
+                Op::Compute { cycles } => {
+                    t += u64::from(cycles);
+                }
+                Op::Read { addr, pc } => {
+                    let block = geometry.block_of(addr);
+                    if node.flc.read(block) {
+                        node.stats.reads += 1;
+                        node.stats.flc_read_hits += 1;
+                        if fx.check_on() {
+                            fx.hook(HookRecord::ReadFlcHit { cpu: n, addr });
+                        }
+                        t += 1;
+                        continue;
+                    }
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, fx, n, op, t);
+                        return;
+                    }
+                    node.stats.reads += 1;
+                    node.flwb
+                        .push(FlwbEntry::Read {
+                            addr,
+                            pc,
+                            issued: t,
+                        })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
+                        .expect("checked above");
+                    block_cpu(node, fx, n, CpuStatus::WaitRead, t);
+                    return;
+                }
+                Op::Write { addr, pc: _ } => {
+                    // Write-through, no-write-allocate FLC: the tag array
+                    // is unchanged whether it hits or misses.
+                    let _ = node.flc.write(geometry.block_of(addr));
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, fx, n, op, t);
+                        return;
+                    }
+                    node.stats.writes += 1;
+                    node.flwb
+                        .push(FlwbEntry::Write { addr, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
+                        .expect("checked above");
+                    if fx.check_on() {
+                        fx.hook(HookRecord::WriteIssued { cpu: n, addr });
+                    }
+                    if sequential {
+                        // Sequential consistency: the processor waits for
+                        // every write to perform globally.
+                        node.status = CpuStatus::WaitWrite;
+                        node.issue_time = t;
+                        node.cpu_time = t;
+                        notify_slc(node, fx, n, t, false);
+                        return;
+                    }
+                    t += 1;
+                    notify_slc(node, fx, n, t, false);
+                }
+                Op::Acquire { lock } => {
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, fx, n, op, t);
+                        return;
+                    }
+                    node.flwb
+                        .push(FlwbEntry::Acquire { lock, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
+                        .expect("checked above");
+                    block_cpu(node, fx, n, CpuStatus::WaitLock, t);
+                    return;
+                }
+                Op::Release { lock } => {
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, fx, n, op, t);
+                        return;
+                    }
+                    node.flwb
+                        .push(FlwbEntry::Release { lock, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
+                        .expect("checked above");
+                    block_cpu(node, fx, n, CpuStatus::WaitLock, t);
+                    return;
+                }
+                Op::Barrier { id } => {
+                    if node.flwb.is_full() {
+                        // Deferred, not retired: stats count on the retry.
+                        defer_for_flwb(node, fx, n, op, t);
+                        return;
+                    }
+                    node.flwb
+                        .push(FlwbEntry::Barrier { id, issued: t })
+                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
+                        .expect("checked above");
+                    block_cpu(node, fx, n, CpuStatus::WaitBarrier, t);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Completes a blocked demand read at time `done`: fills the FLC,
+    /// accounts the read stall (everything beyond the 1-pclock pipelined
+    /// FLC access), and resumes the processor after the FLC fill.
+    fn serve_waiting_read(&mut self, n: u16, block: BlockAddr, done: Cycle) {
+        let ni = n as usize - self.base;
+        if self.fx.check_on() {
+            self.fx.hook(HookRecord::ReadCompleted { cpu: n, block });
+        }
+        let flc_fill = self.cfg.flc_fill;
+        self.nodes[ni].flc.fill(block);
+        let issue = self.nodes[ni].issue_time;
+        self.nodes[ni].stats.read_stall +=
+            (done + flc_fill).saturating_since(issue).saturating_sub(1);
+        self.resume_cpu(n, done + flc_fill);
+    }
+
+    /// Resumes a blocked processor at time `at`.
+    fn resume_cpu(&mut self, n: u16, at: Cycle) {
+        let node = &mut self.nodes[n as usize - self.base];
+        debug_assert_ne!(node.status, CpuStatus::Ready);
+        debug_assert_ne!(node.status, CpuStatus::Done);
+        node.status = CpuStatus::Ready;
+        node.cpu_time = node.cpu_time.max(at);
+        let at = node.cpu_time;
+        self.fx.schedule(at, Ev::CpuStep(n));
+    }
+
+    // ----------------------------------------------------------------
+    // SLC service
+    // ----------------------------------------------------------------
+
+    /// The SLC of node `n` services one job (an incoming message has
+    /// priority over the FLWB head).
+    ///
+    /// After each job the handler decides how to continue. If more work is
+    /// queued it would normally schedule `SlcWork` at the server's free
+    /// time; but when nothing else in the event queue is due at or before
+    /// that time, the scheduled event would pop as the very next event
+    /// with state identical to right now — so the handler serves the next
+    /// job inline instead, skipping the queue round-trip (see
+    /// [`Fx::can_fuse`]). Under `Fx::Log` the fusion guard is always
+    /// false: one job per event, with the follow-on schedule tagged
+    /// fusable for the leader's replay-time guard.
+    fn slc_work(&mut self, n: u16, now: Cycle) {
+        let ni = n as usize - self.base;
+        let mut now = now;
+        loop {
+            self.nodes[ni].slc_scheduled_at = None;
+
+            if let Some(msg) = self.nodes[ni].incoming.pop_front() {
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                self.handle_slc_msg(n, msg, done);
+            } else {
+                match self.slc_drain_one(n, now) {
+                    Drained::One => {}
+                    Drained::Idle => return,
+                    // A future-issued head whose wakeup would pop as the
+                    // very next event: skip ahead and retry in this event.
+                    Drained::ParkedUntil(at) => {
+                        now = at;
+                        continue;
+                    }
+                }
+            }
+
+            match self.reschedule_or_fuse(n) {
+                // Guaranteed-next: serve the following job in this event.
+                Some(at) => now = at,
+                None => return,
+            }
+        }
+    }
+
+    /// After an SLC job completes: schedules the next job if any work is
+    /// queued, or — when that event would pop as the very next event —
+    /// returns its time so the caller serves it inline instead (the
+    /// fusion rule documented on [`Self::slc_work`]).
+    fn reschedule_or_fuse(&mut self, n: u16) -> Option<Cycle> {
+        let ni = n as usize - self.base;
+        let node = &self.nodes[ni];
+        if node.slc_scheduled_at.is_some() {
+            // A handler already armed service (e.g. an unblocked drain).
+            return None;
+        }
+        // A blocked drain only gates FLWB consumption; incoming coherence
+        // messages must keep flowing (they are what unblocks the drain).
+        let has_work = !node.incoming.is_empty()
+            || (node.drain_block == DrainBlock::None && !node.flwb.is_empty());
+        if !has_work {
+            return None;
+        }
+        let at = node.slc_server.free_at();
+        if self.fx.can_fuse(at) {
+            return Some(at);
+        }
+        self.nodes[ni].slc_scheduled_at = Some(at);
+        self.fx.schedule_fusable(at, Ev::SlcWork(n));
+        None
+    }
+
+    /// Drains one FLWB entry at `now` if one is ready. Returns
+    /// [`Drained::Idle`] when service is finished for this event (empty
+    /// buffer, a parked future-issued head, or a blocked drain), or
+    /// [`Drained::ParkedUntil`] when the head is future-issued but its
+    /// wakeup would be guaranteed-next (the caller fast-forwards).
+    fn slc_drain_one(&mut self, n: u16, now: Cycle) -> Drained {
+        let ni = n as usize - self.base;
+        // Inspect the head without consuming it: entries that need
+        // resources may have to wait.
+        let Some(head) = self.nodes[ni].flwb.peek().copied() else {
+            // A stale wakeup: an earlier event already drained the queue.
+            self.nodes[ni].stats.spurious_slc_wakeups += 1;
+            return Drained::Idle;
+        };
+        if head.issued() > now {
+            // The processor runs ahead of the event loop; this entry does
+            // not exist yet at SLC time.
+            let at = head.issued();
+            if self.fx.can_fuse(at) {
+                return Drained::ParkedUntil(at);
+            }
+            let node = &mut self.nodes[ni];
+            node.slc_scheduled_at = Some(at);
+            self.fx.schedule_fusable(at, Ev::SlcWork(n));
+            return Drained::Idle;
+        }
+
+        match head {
+            FlwbEntry::Read { addr, pc, .. } => {
+                let block = self.cfg.geometry.block_of(addr);
+                let node = &mut self.nodes[ni];
+                // Check the cheap full/empty gate first: the SLC and MSHR
+                // probes only matter when the MSHR is actually full.
+                if node.mshr.is_full()
+                    && node.slc.lookup(block).is_none()
+                    && !node.mshr.contains(block)
+                {
+                    node.drain_block = DrainBlock::MshrFull;
+                    return Drained::Idle;
+                }
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                self.slc_read(n, addr, pc, done);
+            }
+            FlwbEntry::Write { addr, .. } => {
+                let block = self.cfg.geometry.block_of(addr);
+                let node = &mut self.nodes[ni];
+                // As above: probe the SLC and MSHR only when the MSHR is
+                // full, which is the only case that can block the drain.
+                if node.mshr.is_full() {
+                    let needs_slot = match node.slc.lookup(block) {
+                        Some(line) => line.state == LineState::Shared && !node.mshr.contains(block),
+                        None => !node.mshr.contains(block),
+                    };
+                    if needs_slot {
+                        node.drain_block = DrainBlock::MshrFull;
+                        return Drained::Idle;
+                    }
+                }
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                self.slc_write(n, addr, done);
+            }
+            FlwbEntry::Acquire { lock, .. } => {
+                self.nodes[ni].flwb.pop();
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                let home = home_of_addr(self.cfg, lock);
+                self.fx.send(
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::LockReq {
+                        lock,
+                        from: NodeId::new(n),
+                    },
+                );
+            }
+            FlwbEntry::Release { lock, .. } => {
+                if self.nodes[ni].pending_write_txns > 0 {
+                    self.nodes[ni].drain_block = DrainBlock::ReleasePending;
+                    return Drained::Idle;
+                }
+                self.nodes[ni].flwb.pop();
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::ReleaseDrained { cpu: n, lock });
+                }
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                let home = home_of_addr(self.cfg, lock);
+                self.fx.send(
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::UnlockReq {
+                        lock,
+                        from: NodeId::new(n),
+                    },
+                );
+                // The release itself completes once issued (the lock
+                // hand-off happens at the home).
+                let issue = self.nodes[ni].issue_time;
+                self.nodes[ni].stats.sync_stall += done.saturating_since(issue);
+                self.resume_cpu(n, done);
+            }
+            FlwbEntry::Barrier { id, .. } => {
+                if self.nodes[ni].pending_write_txns > 0 {
+                    self.nodes[ni].drain_block = DrainBlock::ReleasePending;
+                    return Drained::Idle;
+                }
+                self.nodes[ni].flwb.pop();
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::BarrierDrained { cpu: n, id });
+                }
+                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                let home = id % u32::from(self.cfg.nodes);
+                self.fx.send(
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home as u16,
+                    Msg::BarrierArrive {
+                        id,
+                        from: NodeId::new(n),
+                    },
+                );
+            }
+        }
+
+        // A processor stalled on a full FLWB can retry now that an entry
+        // drained.
+        if self.nodes[ni].status == CpuStatus::WaitFlwb && !self.nodes[ni].flwb.is_full() {
+            let waited = self.nodes[ni]
+                .slc_server
+                .free_at()
+                .saturating_since(self.nodes[ni].issue_time);
+            self.nodes[ni].stats.flwb_stall += waited;
+            let at = self.nodes[ni].slc_server.free_at();
+            self.resume_cpu(n, at);
+        }
+
+        Drained::One
+    }
+
+    /// Clears a drain block of the given kind and restarts SLC service.
+    fn unblock_drain(&mut self, n: u16, kind: DrainBlock, at: Cycle) {
+        let ni = n as usize - self.base;
+        if self.nodes[ni].drain_block == kind {
+            self.nodes[ni].drain_block = DrainBlock::None;
+            notify_slc(&mut self.nodes[ni], &mut self.fx, n, at, false);
+        }
+    }
+
+    /// A demand read request presented to the SLC (the processor is
+    /// blocked on it).
+    fn slc_read(&mut self, n: u16, addr: Addr, pc: pfsim_mem::Pc, done: Cycle) {
+        let ni = n as usize - self.base;
+        let block = self.cfg.geometry.block_of(addr);
+        if self.fx.check_on() {
+            self.fx.hook(HookRecord::ReadRequest { cpu: n, addr });
+        }
+
+        let outcome = {
+            let node = &mut self.nodes[ni];
+            match node.slc.demand_access(block) {
+                Some(was_tagged) => {
+                    node.stats.slc_read_hits += 1;
+                    if was_tagged {
+                        node.stats.tagged_hits += 1;
+                        node.stats.prefetches_useful += 1;
+                        ReadOutcome::HitPrefetched
+                    } else {
+                        ReadOutcome::Hit
+                    }
+                }
+                None => {
+                    if let Some(entry) = node.mshr.get_mut(block) {
+                        entry.waiting_cpu = true;
+                        node.stats.delayed_hits += 1;
+                        if entry.kind == TxnKind::Prefetch && !entry.prefetch_consumed {
+                            entry.prefetch_consumed = true;
+                            node.stats.prefetches_useful += 1;
+                            ReadOutcome::InFlightPrefetch
+                        } else {
+                            ReadOutcome::InFlightDemand
+                        }
+                    } else {
+                        node.stats.read_misses += 1;
+                        let cause = node.classify_miss(block);
+                        if node.record {
+                            node.miss_trace.push(MissRecord {
+                                pc,
+                                addr,
+                                block,
+                                cause,
+                            });
+                        }
+                        node.mshr
+                            .alloc(block, {
+                                let mut e = MshrEntry::new(TxnKind::ReadShared);
+                                e.waiting_cpu = true;
+                                e
+                            })
+                            // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
+                            .expect("capacity checked before pop");
+                        ReadOutcome::Miss
+                    }
+                }
+            }
+        };
+
+        if outcome == ReadOutcome::Hit || outcome == ReadOutcome::HitPrefetched {
+            self.serve_waiting_read(n, block, done);
+        } else if outcome == ReadOutcome::Miss {
+            let home = home_of(self.cfg, block);
+            self.fx.send(
+                self.cfg.geometry,
+                done,
+                n,
+                home,
+                Msg::CohReq {
+                    block,
+                    req: DirRequest::read_shared(NodeId::new(n)),
+                },
+            );
+        }
+
+        self.run_prefetcher(n, addr, pc, outcome, done);
+    }
+
+    /// A buffered write drained from the FLWB into the SLC.
+    fn slc_write(&mut self, n: u16, addr: Addr, done: Cycle) {
+        let ni = n as usize - self.base;
+        let block = self.cfg.geometry.block_of(addr);
+        let node = &mut self.nodes[ni];
+
+        let req = match node.slc.write_access(block) {
+            Some((LineState::Modified, was_tagged)) => {
+                // Write hit on an owned block: absorbed. A write consuming
+                // a prefetched-tagged block counts the prefetch useful (it
+                // turned a write miss into a hit); `write_access` already
+                // cleared the tag so it cannot fire again later.
+                if was_tagged {
+                    node.stats.prefetches_useful += 1;
+                }
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::WriteApplied { cpu: n, addr });
+                }
+                self.resume_write(n, done);
+                return;
+            }
+            Some((LineState::Shared, was_tagged)) => {
+                // Shared: need ownership. A prefetched tag is consumed by
+                // the write exactly as in the Modified case.
+                if was_tagged {
+                    node.stats.prefetches_useful += 1;
+                }
+                if node.mshr.contains(block) {
+                    // Upgrade already in flight: the write merges into it.
+                    if self.fx.check_on() {
+                        self.fx.hook(HookRecord::WriteDeferred { cpu: n, addr });
+                    }
+                    return;
+                }
+                node.mshr
+                    .alloc(block, {
+                        let mut e = MshrEntry::new(TxnKind::Upgrade);
+                        e.write_pending = true;
+                        e
+                    })
+                    // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
+                    .expect("capacity checked before pop");
+                node.pending_write_txns += 1;
+                DirRequest::Upgrade {
+                    from: NodeId::new(n),
+                }
+            }
+            None => {
+                if let Some(entry) = node.mshr.get_mut(block) {
+                    if !entry.write_pending {
+                        entry.write_pending = true;
+                        node.pending_write_txns += 1;
+                    }
+                    if self.fx.check_on() {
+                        self.fx.hook(HookRecord::WriteDeferred { cpu: n, addr });
+                    }
+                    return;
+                }
+                node.mshr
+                    .alloc(block, {
+                        let mut e = MshrEntry::new(TxnKind::ReadExclusive);
+                        e.write_pending = true;
+                        e
+                    })
+                    // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
+                    .expect("capacity checked before pop");
+                node.pending_write_txns += 1;
+                DirRequest::ReadExclusive {
+                    from: NodeId::new(n),
+                }
+            }
+        };
+        if self.fx.check_on() {
+            self.fx.hook(HookRecord::WriteDeferred { cpu: n, addr });
+        }
+        let home = home_of(self.cfg, block);
+        self.fx
+            .send(self.cfg.geometry, done, n, home, Msg::CohReq { block, req });
+    }
+
+    /// Feeds the prefetcher and issues the surviving candidates.
+    fn run_prefetcher(
+        &mut self,
+        n: u16,
+        addr: Addr,
+        pc: pfsim_mem::Pc,
+        outcome: ReadOutcome,
+        done: Cycle,
+    ) {
+        let ni = n as usize - self.base;
+        let mut candidates = std::mem::take(&mut self.nodes[ni].pf_scratch);
+        candidates.clear();
+        self.nodes[ni]
+            .prefetcher
+            .on_read(&ReadAccess { pc, addr, outcome }, &mut candidates);
+
+        let mut issued = 0u32;
+        for &block in &candidates {
+            let node = &mut self.nodes[ni];
+            if node.slc.contains(block) {
+                node.stats.pf_dropped_present += 1;
+                continue;
+            }
+            if node.mshr.contains(block) {
+                node.stats.pf_dropped_inflight += 1;
+                continue;
+            }
+            if node.mshr.is_full() {
+                node.stats.pf_dropped_full += 1;
+                continue;
+            }
+            node.mshr
+                .alloc(block, MshrEntry::new(TxnKind::Prefetch))
+                // pfsim-lint: allow(K002) -- MSHR checked not-full just above; alloc cannot fail
+                .expect("checked above");
+            node.stats.prefetches_issued += 1;
+            issued += 1;
+            let home = home_of(self.cfg, block);
+            self.fx.send(
+                self.cfg.geometry,
+                done,
+                n,
+                home,
+                Msg::CohReq {
+                    block,
+                    req: DirRequest::prefetch(NodeId::new(n)),
+                },
+            );
+        }
+        if !candidates.is_empty() {
+            self.nodes[ni].prefetcher.on_prefetches_issued(issued);
+        }
+        self.nodes[ni].pf_scratch = candidates;
+    }
+
+    // ----------------------------------------------------------------
+    // SLC-side message handling
+    // ----------------------------------------------------------------
+
+    fn handle_slc_msg(&mut self, n: u16, msg: Msg, done: Cycle) {
+        let ni = n as usize - self.base;
+        match msg {
+            Msg::Fetch { block, inval, home } => {
+                let node = &mut self.nodes[ni];
+                // One tag-store probe: the removal/downgrade result doubles
+                // as the presence check.
+                let had_copy = if inval {
+                    if node.slc.invalidate(block).is_some() {
+                        node.flc.invalidate(block);
+                        node.removal
+                            .insert(block.as_u64(), crate::stats::MissCause::Coherence);
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    node.slc.downgrade(block)
+                };
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::FetchSupplied {
+                        cpu: n,
+                        block,
+                        inval,
+                        had_copy,
+                    });
+                }
+                self.fx.send(
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home.as_u16(),
+                    Msg::FetchReply { block, had_copy },
+                );
+            }
+            Msg::Inval { block, home } => {
+                let node = &mut self.nodes[ni];
+                node.stats.invals_received += 1;
+                if node.slc.invalidate(block).is_some() {
+                    node.flc.invalidate(block);
+                    node.removal
+                        .insert(block.as_u64(), crate::stats::MissCause::Coherence);
+                }
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::Invalidated { cpu: n, block });
+                }
+                self.fx.send(
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home.as_u16(),
+                    Msg::InvalAck { block },
+                );
+            }
+            Msg::DataReply {
+                block,
+                exclusive,
+                prefetch,
+            } => {
+                // Protocol cross-check: the home's view of the request
+                // kind must match the requester's outstanding entry.
+                debug_assert_eq!(
+                    prefetch,
+                    self.nodes[ni]
+                        .mshr
+                        .get(block)
+                        .is_some_and(|e| e.kind == TxnKind::Prefetch),
+                    "home and requester disagree about a prefetch"
+                );
+                self.slc_fill(n, block, exclusive, done);
+            }
+            Msg::AckReply { block } => {
+                let node = &mut self.nodes[ni];
+                let entry = node
+                    .mshr
+                    .remove(block)
+                    // pfsim-lint: allow(K002) -- protocol trap: an ack always matches an open upgrade transaction
+                    .expect("upgrade ack without transaction");
+                debug_assert_eq!(entry.kind, TxnKind::Upgrade);
+                if node.slc.promote(block) {
+                    if self.fx.check_on() {
+                        self.fx.hook(HookRecord::Promote { cpu: n, block });
+                    }
+                    if entry.waiting_cpu {
+                        // A read merged into the upgrade: the block is
+                        // resident, serve it now.
+                        self.serve_waiting_read(n, block, done);
+                    }
+                } else {
+                    // The shared line was displaced by a conflicting fill
+                    // while the upgrade was in flight (finite SLC). We now
+                    // own a block we no longer hold: return it to memory
+                    // immediately so the directory stays consistent. The
+                    // displaced copy was clean, so memory is already
+                    // current and this writeback carries no new data — it
+                    // is an ownership relinquish that this protocol
+                    // expresses as a (rare) data-sized writeback.
+                    if self.fx.check_on() {
+                        self.fx.hook(HookRecord::PromoteFailed { cpu: n, block });
+                    }
+                    let node = &mut self.nodes[ni];
+                    node.stats.writebacks += 1;
+                    let home = home_of(self.cfg, block);
+                    self.fx.send(
+                        self.cfg.geometry,
+                        done,
+                        n,
+                        home,
+                        Msg::CohReq {
+                            block,
+                            req: DirRequest::Writeback {
+                                from: NodeId::new(n),
+                            },
+                        },
+                    );
+                    // The store (and any merged read) still has to
+                    // complete: re-issue as a read-exclusive. The
+                    // writeback is sent first over the same route, so it
+                    // is delivered first — per-link FIFO for remote homes,
+                    // and the event queue's scheduled-order tie-break for
+                    // the local-home case. The pending-write accounting
+                    // carries over to the new transaction.
+                    let node = &mut self.nodes[ni];
+                    node.mshr
+                        .alloc(block, {
+                            let mut e = MshrEntry::new(TxnKind::ReadExclusive);
+                            e.waiting_cpu = entry.waiting_cpu;
+                            e.write_pending = entry.write_pending;
+                            e
+                        })
+                        // pfsim-lint: allow(K002) -- re-allocating the MSHR slot freed by the remove above
+                        .expect("slot just freed");
+                    self.fx.send(
+                        self.cfg.geometry,
+                        done,
+                        n,
+                        home,
+                        Msg::CohReq {
+                            block,
+                            req: DirRequest::ReadExclusive {
+                                from: NodeId::new(n),
+                            },
+                        },
+                    );
+                    self.unblock_drain(n, DrainBlock::MshrFull, done);
+                    return;
+                }
+                if entry.write_pending {
+                    self.complete_write(n, done);
+                }
+                self.unblock_drain(n, DrainBlock::MshrFull, done);
+            }
+            other => unreachable!("SLC received non-SLC message {other:?}"),
+        }
+    }
+
+    /// A data reply fills the SLC, completes the waiting transaction, and
+    /// resumes a blocked processor or follows up with an ownership upgrade
+    /// as needed.
+    fn slc_fill(&mut self, n: u16, block: BlockAddr, exclusive: bool, done: Cycle) {
+        let ni = n as usize - self.base;
+
+        let entry = self.nodes[ni]
+            .mshr
+            .remove(block)
+            // pfsim-lint: allow(K002) -- protocol trap: a data reply always matches an open transaction
+            .expect("data reply without transaction");
+
+        // Insert the block; a finite SLC may evict a victim.
+        let state = if exclusive {
+            LineState::Modified
+        } else {
+            LineState::Shared
+        };
+        let tagged =
+            entry.kind == TxnKind::Prefetch && !entry.prefetch_consumed && !entry.waiting_cpu;
+        let eviction = self.nodes[ni].slc.fill(block, state, tagged);
+        match eviction {
+            Eviction::None => {}
+            Eviction::Clean(victim) => {
+                let node = &mut self.nodes[ni];
+                node.flc.invalidate(victim);
+                node.removal
+                    .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::Evict {
+                        cpu: n,
+                        block: victim,
+                        dirty: false,
+                    });
+                }
+                // Clean copies are dropped silently; the directory's
+                // presence bit goes stale and a future invalidation will
+                // simply be acknowledged without effect.
+            }
+            Eviction::Dirty(victim) => {
+                let node = &mut self.nodes[ni];
+                node.flc.invalidate(victim);
+                node.removal
+                    .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
+                node.stats.writebacks += 1;
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::Evict {
+                        cpu: n,
+                        block: victim,
+                        dirty: true,
+                    });
+                }
+                let home = home_of(self.cfg, victim);
+                self.fx.send(
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::CohReq {
+                        block: victim,
+                        req: DirRequest::Writeback {
+                            from: NodeId::new(n),
+                        },
+                    },
+                );
+            }
+        }
+
+        if self.fx.check_on() {
+            self.fx.hook(HookRecord::Fill {
+                cpu: n,
+                block,
+                exclusive,
+            });
+        }
+
+        if entry.waiting_cpu {
+            self.serve_waiting_read(n, block, done);
+        }
+
+        if entry.write_pending {
+            if exclusive {
+                self.complete_write(n, done);
+            } else {
+                // Ownership still needed: chain an upgrade. The slot just
+                // freed guarantees space.
+                let node = &mut self.nodes[ni];
+                node.mshr
+                    .alloc(block, {
+                        let mut e = MshrEntry::new(TxnKind::Upgrade);
+                        e.write_pending = true;
+                        e
+                    })
+                    // pfsim-lint: allow(K002) -- re-allocating the MSHR slot freed by the remove above
+                    .expect("slot just freed");
+                let home = home_of(self.cfg, block);
+                self.fx.send(
+                    self.cfg.geometry,
+                    done,
+                    n,
+                    home,
+                    Msg::CohReq {
+                        block,
+                        req: DirRequest::Upgrade {
+                            from: NodeId::new(n),
+                        },
+                    },
+                );
+            }
+        }
+
+        self.unblock_drain(n, DrainBlock::MshrFull, done);
+    }
+
+    /// A write transaction completed: release-consistency bookkeeping
+    /// (and, under sequential consistency, the waiting processor resumes).
+    fn complete_write(&mut self, n: u16, at: Cycle) {
+        let ni = n as usize - self.base;
+        debug_assert!(self.nodes[ni].pending_write_txns > 0);
+        self.nodes[ni].pending_write_txns -= 1;
+        if self.nodes[ni].pending_write_txns == 0 {
+            self.unblock_drain(n, DrainBlock::ReleasePending, at);
+        }
+        self.resume_write(n, at);
+    }
+
+    /// Resumes a processor blocked on a write (sequential consistency).
+    fn resume_write(&mut self, n: u16, at: Cycle) {
+        let ni = n as usize - self.base;
+        if self.cfg.consistency == crate::ConsistencyModel::Sequential
+            && self.nodes[ni].status == CpuStatus::WaitWrite
+        {
+            let issue = self.nodes[ni].issue_time;
+            self.nodes[ni].stats.write_stall += at.saturating_since(issue).saturating_sub(1);
+            self.resume_cpu(n, at);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Home-side (directory, memory, locks, barriers)
+    // ----------------------------------------------------------------
+
+    /// Serves one request at the home node's controller: occupancy-limited
+    /// throughput plus pipeline latency.
+    fn home_service(&mut self, ni: usize, now: Cycle) -> Cycle {
+        self.nodes[ni].dir_server.serve(now, self.cfg.dir_occupancy) + self.cfg.dir_extra_latency
+    }
+
+    fn deliver(&mut self, n: u16, msg: Msg, now: Cycle) {
+        let ni = n as usize - self.base;
+        match msg {
+            Msg::CohReq { block, req } => {
+                let t0 = self.home_service(ni, now);
+                if self.fx.check_on() {
+                    match req {
+                        DirRequest::Writeback { from } => {
+                            self.fx.hook(HookRecord::HomeBeginWriteback {
+                                home: n,
+                                block,
+                                from: from.as_u16(),
+                            });
+                        }
+                        _ => self.fx.hook(HookRecord::HomeBegin { home: n, block }),
+                    }
+                }
+                let mut actions = std::mem::take(self.dir_actions);
+                actions.clear();
+                self.nodes[ni].dir.request(block, req, &mut actions);
+                self.exec_dir_actions(n, block, &actions, t0);
+                *self.dir_actions = actions;
+            }
+            Msg::FetchReply { block, had_copy } => {
+                let t0 = self.home_service(ni, now);
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::HomeBeginFetch {
+                        home: n,
+                        block,
+                        had_copy,
+                    });
+                }
+                let mut actions = std::mem::take(self.dir_actions);
+                actions.clear();
+                self.nodes[ni].dir.fetch_done(block, had_copy, &mut actions);
+                self.exec_dir_actions(n, block, &actions, t0);
+                *self.dir_actions = actions;
+            }
+            Msg::InvalAck { block } => {
+                let t0 = self.home_service(ni, now);
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::HomeBegin { home: n, block });
+                }
+                let mut actions = std::mem::take(self.dir_actions);
+                actions.clear();
+                self.nodes[ni].dir.inval_ack(block, &mut actions);
+                self.exec_dir_actions(n, block, &actions, t0);
+                *self.dir_actions = actions;
+            }
+            Msg::Fetch { .. }
+            | Msg::Inval { .. }
+            | Msg::DataReply { .. }
+            | Msg::AckReply { .. } => {
+                // Fast path: the SLC is idle and nothing else is due at
+                // `now` (strictly later or empty queue), so queueing the
+                // message and scheduling `SlcWork(now)` would fire that
+                // event as the very next pop with identical state. Serve
+                // the message inline instead and skip the round-trip. The
+                // peek must be strict: a same-time event with an earlier
+                // sequence number would pop first. The node-local half of
+                // the guard (`idle`) is computed before the push either
+                // way: under `Fx::Log` it rides along as the schedule's
+                // fusable flag so the leader can re-run the full guard.
+                let idle =
+                    self.nodes[ni].incoming.is_empty() && self.nodes[ni].slc_server.is_idle_at(now);
+                if idle && self.fx.can_fuse(now) {
+                    self.nodes[ni].slc_scheduled_at = None;
+                    let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
+                    self.handle_slc_msg(n, msg, done);
+                    if let Some(at) = self.reschedule_or_fuse(n) {
+                        self.slc_work(n, at);
+                    }
+                } else {
+                    self.nodes[ni].incoming.push_back(msg);
+                    notify_slc(&mut self.nodes[ni], &mut self.fx, n, now, idle);
+                }
+            }
+            Msg::LockReq { lock, from } => {
+                let t0 = self.home_service(ni, now);
+                if self.nodes[ni].locks.acquire(lock, from) {
+                    self.fx.send(
+                        self.cfg.geometry,
+                        t0,
+                        n,
+                        from.as_u16(),
+                        Msg::LockGrant { lock },
+                    );
+                }
+            }
+            Msg::UnlockReq { lock, from } => {
+                let t0 = self.home_service(ni, now);
+                if let Some(next) = self.nodes[ni].locks.release(lock, from) {
+                    self.fx.send(
+                        self.cfg.geometry,
+                        t0,
+                        n,
+                        next.as_u16(),
+                        Msg::LockGrant { lock },
+                    );
+                }
+            }
+            Msg::LockGrant { lock } => {
+                debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitLock);
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::LockGranted { cpu: n, lock });
+                }
+                let issue = self.nodes[ni].issue_time;
+                self.nodes[ni].stats.sync_stall += now.saturating_since(issue);
+                self.resume_cpu(n, now + 1);
+            }
+            Msg::BarrierArrive { id, from } => {
+                let expected = self.cfg.nodes as usize;
+                if let Some(participants) = self.nodes[ni].barriers.arrive(id, from, expected) {
+                    let t0 = self.home_service(ni, now);
+                    for p in participants {
+                        self.fx.send(
+                            self.cfg.geometry,
+                            t0,
+                            n,
+                            p.as_u16(),
+                            Msg::BarrierRelease { id },
+                        );
+                    }
+                }
+            }
+            Msg::BarrierRelease { id } => {
+                debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitBarrier);
+                if self.fx.check_on() {
+                    self.fx.hook(HookRecord::BarrierReleased { cpu: n, id });
+                }
+                let issue = self.nodes[ni].issue_time;
+                self.nodes[ni].stats.barrier_stall += now.saturating_since(issue);
+                self.resume_cpu(n, now + 1);
+            }
+        }
+    }
+
+    /// Executes the directory's actions at home node `h`, threading the
+    /// memory latency into data replies.
+    fn exec_dir_actions(&mut self, h: u16, block: BlockAddr, actions: &ActionBuf, t0: Cycle) {
+        let hi = h as usize - self.base;
+        let mut data_ready = t0;
+        for action in actions.iter().copied() {
+            match action {
+                DirAction::ReadMemory => {
+                    if self.fx.check_on() {
+                        self.fx.hook(HookRecord::HomeReadMemory { block });
+                    }
+                    let (start, end) = self.nodes[hi]
+                        .mem
+                        .serve_timed(data_ready, self.cfg.mem_occupancy);
+                    let _ = start;
+                    data_ready = end + self.cfg.mem_extra_latency;
+                }
+                DirAction::WriteMemory => {
+                    if self.fx.check_on() {
+                        self.fx.hook(HookRecord::HomeWriteMemory { block });
+                    }
+                    self.nodes[hi].mem.serve(t0, self.cfg.mem_occupancy);
+                }
+                DirAction::SendData {
+                    to,
+                    exclusive,
+                    prefetch,
+                } => {
+                    if self.fx.check_on() {
+                        self.fx.hook(HookRecord::HomeSendData {
+                            block,
+                            to: to.as_u16(),
+                        });
+                    }
+                    self.fx.send(
+                        self.cfg.geometry,
+                        data_ready,
+                        h,
+                        to.as_u16(),
+                        Msg::DataReply {
+                            block,
+                            exclusive,
+                            prefetch,
+                        },
+                    );
+                }
+                DirAction::SendAck { to } => {
+                    self.fx.send(
+                        self.cfg.geometry,
+                        t0,
+                        h,
+                        to.as_u16(),
+                        Msg::AckReply { block },
+                    );
+                }
+                DirAction::Fetch { owner } => {
+                    self.fx.send(
+                        self.cfg.geometry,
+                        t0,
+                        h,
+                        owner.as_u16(),
+                        Msg::Fetch {
+                            block,
+                            inval: false,
+                            home: NodeId::new(h),
+                        },
+                    );
+                }
+                DirAction::FetchInval { owner } => {
+                    self.fx.send(
+                        self.cfg.geometry,
+                        t0,
+                        h,
+                        owner.as_u16(),
+                        Msg::Fetch {
+                            block,
+                            inval: true,
+                            home: NodeId::new(h),
+                        },
+                    );
+                }
+                DirAction::Invalidate { targets } => {
+                    for target in targets.iter() {
+                        self.fx.send(
+                            self.cfg.geometry,
+                            t0,
+                            h,
+                            target.as_u16(),
+                            Msg::Inval {
+                                block,
+                                home: NodeId::new(h),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The simulated multiprocessor.
 ///
 /// Couples a [`SystemConfig`] with a [`Workload`] and runs the parallel
-/// section to completion, producing a [`SimResult`].
+/// section to completion, producing a [`SimResult`]. [`run`](System::run)
+/// is the serial kernel; [`run_threads`](System::run_threads) is the
+/// sharded kernel, bit-identical to serial on every statistic.
 ///
 /// # Examples
 ///
@@ -85,68 +1479,20 @@ enum Drained {
 /// assert!(result.read_misses() > 0);
 /// ```
 pub struct System<W: Workload> {
-    cfg: SystemConfig,
-    workload: W,
-    queue: EventQueue<Ev>,
-    mesh: Mesh,
-    nodes: Vec<Node>,
-    barriers: BarrierTable,
-    last_time: Cycle,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) workload: W,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) mesh: Mesh,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) last_time: Cycle,
     /// Reusable scratch buffer for directory actions: `deliver` borrows it
     /// per message so the protocol hot path never allocates.
-    dir_actions: ActionBuf,
+    pub(crate) dir_actions: ActionBuf,
     /// Observability registry (inert unless `cfg.instrument`).
-    obs: Obs,
+    pub(crate) obs: Obs,
     /// Optional correctness observer (see [`crate::check`]); `None` in
     /// normal runs, so every hook site costs one predictable branch.
-    check: Option<Box<dyn CheckSink>>,
-}
-
-/// Sends `msg` from `from` to `to`, reserving mesh bandwidth at `at`.
-/// Data messages are sized by the geometry's block size.
-fn send(
-    mesh: &mut Mesh,
-    queue: &mut EventQueue<Ev>,
-    geometry: Geometry,
-    at: Cycle,
-    from: u16,
-    to: u16,
-    msg: Msg,
-) {
-    let flits = msg.kind().flits_for(geometry.block_bytes());
-    let arrival = mesh.send(at, NodeId::new(from), NodeId::new(to), flits);
-    queue.schedule(arrival, Ev::Deliver(to, msg));
-}
-
-/// Schedules SLC service for node `n`. If a later `SlcWork` is already
-/// pending (e.g. parked on a future-issued FLWB entry), an earlier
-/// request re-arms service sooner; the stale event is harmless (it
-/// re-checks state when it fires).
-fn notify_slc(node: &mut Node, queue: &mut EventQueue<Ev>, n: u16, at: Cycle) {
-    let target = at.max(node.slc_server.free_at());
-    match node.slc_scheduled_at {
-        Some(scheduled) if scheduled <= target => {}
-        _ => {
-            node.slc_scheduled_at = Some(target);
-            queue.schedule(target, Ev::SlcWork(n));
-        }
-    }
-}
-
-/// Defers `op` because the FLWB is full: the processor stalls until the
-/// SLC drains an entry, then retries the operation.
-fn defer_for_flwb(node: &mut Node, queue: &mut EventQueue<Ev>, n: u16, op: Op, t: Cycle) {
-    node.pending_op = Some(op);
-    block_cpu(node, queue, n, CpuStatus::WaitFlwb, t);
-}
-
-/// Blocks the processor in `status` at time `t` and kicks SLC service (the
-/// blocking operation's FLWB entry is already queued).
-fn block_cpu(node: &mut Node, queue: &mut EventQueue<Ev>, n: u16, status: CpuStatus, t: Cycle) {
-    node.status = status;
-    node.issue_time = t;
-    node.cpu_time = t;
-    notify_slc(node, queue, n, t);
+    pub(crate) check: Option<Box<dyn CheckSink>>,
 }
 
 impl<W: Workload> System<W> {
@@ -182,7 +1528,6 @@ impl<W: Workload> System<W> {
             workload,
             queue: EventQueue::new(),
             nodes,
-            barriers: BarrierTable::new(),
             last_time: Cycle::ZERO,
             dir_actions: ActionBuf::new(),
             check: None,
@@ -220,12 +1565,63 @@ impl<W: Workload> System<W> {
             if instrumented {
                 self.observe_event(&ev);
             }
-            match ev {
-                Ev::CpuStep(n) => self.cpu_step(n, t),
-                Ev::SlcWork(n) => self.slc_work(n, t),
-                Ev::Deliver(n, msg) => self.deliver(n, msg, t),
-            }
+            let mut core = Core {
+                cfg: &self.cfg,
+                base: 0,
+                nodes: &mut self.nodes,
+                workload: &mut self.workload,
+                fx: Fx::Live {
+                    queue: &mut self.queue,
+                    mesh: &mut self.mesh,
+                    check: &mut self.check,
+                },
+                dir_actions: &mut self.dir_actions,
+            };
+            core.dispatch(ev, t);
         }
+        self.finish_run(instrumented)
+    }
+
+    /// Runs the workload to completion on `threads` worker threads using
+    /// the conservative sharded kernel, producing results bit-identical
+    /// to [`run`](Self::run): same pclock total, same per-node stats, same
+    /// metrics snapshot, same oracle hook sequence (see `DESIGN.md` §12).
+    ///
+    /// `threads <= 1` exercises the identical shard machinery inline
+    /// (no threads spawned), which is the determinism reference. The
+    /// workload is cloned once per worker; each clone only ever advances
+    /// its own nodes' streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock, exactly as [`run`](Self::run).
+    pub fn run_threads(&mut self, threads: usize) -> SimResult
+    where
+        W: Clone + Send,
+    {
+        crate::shard::run_threads(self, threads)
+    }
+
+    /// Hot-path instrumentation: called once per popped event when the
+    /// registry is enabled. Counts the event by kind and samples queue
+    /// and per-node MSHR occupancy (an every-event sample, so busy nodes
+    /// weight the distribution by their event traffic).
+    fn observe_event(&mut self, ev: &Ev) {
+        let (wheel, overdue, overflow) = self.queue.depth_profile();
+        let mshr = self.nodes[ev.node() as usize].mshr.len() as u64;
+        self.obs.observe_raw(
+            ev,
+            (wheel + overdue + overflow) as u64,
+            overflow as u64,
+            mshr,
+        );
+    }
+
+    /// Everything after the event loop drains: deadlock detection, the
+    /// final oracle hook, clock folding and statistics assembly. Shared
+    /// verbatim by the serial and sharded kernels so the two can never
+    /// diverge in how a run is summarized.
+    pub(crate) fn finish_run(&mut self, instrumented: bool) -> SimResult {
         let stuck: Vec<String> = self
             .nodes
             .iter()
@@ -298,38 +1694,6 @@ impl<W: Workload> System<W> {
             nodes: self.nodes.iter().map(|n| n.stats).collect(),
             metrics,
         }
-    }
-
-    /// Hot-path instrumentation: called once per popped event when the
-    /// registry is enabled. Counts the event by kind and samples queue
-    /// and per-node MSHR occupancy (an every-event sample, so busy nodes
-    /// weight the distribution by their event traffic).
-    fn observe_event(&mut self, ev: &Ev) {
-        let (wheel, overdue, overflow) = self.queue.depth_profile();
-        self.obs
-            .reg
-            .observe(self.obs.queue_depth, (wheel + overdue + overflow) as u64);
-        self.obs
-            .reg
-            .observe(self.obs.queue_overflow, overflow as u64);
-        let n = match *ev {
-            Ev::CpuStep(n) => {
-                self.obs.reg.inc(self.obs.ev_cpu_step, 1);
-                n
-            }
-            Ev::SlcWork(n) => {
-                self.obs.reg.inc(self.obs.ev_slc_work, 1);
-                n
-            }
-            Ev::Deliver(n, _) => {
-                self.obs.reg.inc(self.obs.ev_deliver, 1);
-                n
-            }
-        };
-        self.obs.reg.observe(
-            self.obs.mshr_occupancy,
-            self.nodes[n as usize].mshr.len() as u64,
-        );
     }
 
     /// End-of-run gauge folding: server utilization, MSHR high water,
@@ -445,1189 +1809,6 @@ impl<W: Workload> System<W> {
     }
 
     fn home_of(&self, block: BlockAddr) -> u16 {
-        self.cfg
-            .placement
-            .home_of(self.cfg.geometry.page_of_block(block))
-            .as_u16()
-    }
-
-    fn home_of_addr(&self, addr: Addr) -> u16 {
-        self.cfg
-            .placement
-            .home_of(self.cfg.geometry.page_of(addr))
-            .as_u16()
-    }
-
-    // ----------------------------------------------------------------
-    // Processor
-    // ----------------------------------------------------------------
-
-    /// Runs the processor of node `n` from its local time until it blocks,
-    /// finishes, or exhausts its time slice.
-    ///
-    /// The node, queue and workload are split-borrowed once up front: this
-    /// loop consumes every trace operation, so it must not re-index
-    /// `self.nodes` or round-trip `pending_op` through memory per op.
-    fn cpu_step(&mut self, n: u16, now: Cycle) {
-        let ni = n as usize;
-        let System {
-            cfg,
-            workload,
-            queue,
-            nodes,
-            check,
-            ..
-        } = self;
-        let node = &mut nodes[ni];
-        if node.status != CpuStatus::Ready {
-            return;
-        }
-        let mut t = node.cpu_time.max(now);
-        let slice_end = t + cfg.cpu_slice;
-        let geometry = cfg.geometry;
-        let sequential = cfg.consistency == crate::ConsistencyModel::Sequential;
-        let mut pending = node.pending_op.take();
-
-        loop {
-            if t >= slice_end {
-                node.cpu_time = t;
-                queue.schedule(t, Ev::CpuStep(n));
-                return;
-            }
-            let op = match pending.take() {
-                Some(op) => op,
-                None => match workload.next(ni) {
-                    Some(op) => op,
-                    None => {
-                        node.status = CpuStatus::Done;
-                        node.cpu_time = t;
-                        return;
-                    }
-                },
-            };
-            match op {
-                Op::Compute { cycles } => {
-                    t += u64::from(cycles);
-                }
-                Op::Read { addr, pc } => {
-                    let block = geometry.block_of(addr);
-                    if node.flc.read(block) {
-                        node.stats.reads += 1;
-                        node.stats.flc_read_hits += 1;
-                        if let Some(k) = check.as_deref_mut() {
-                            k.read_flc_hit(n, addr);
-                        }
-                        t += 1;
-                        continue;
-                    }
-                    if node.flwb.is_full() {
-                        // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, queue, n, op, t);
-                        return;
-                    }
-                    node.stats.reads += 1;
-                    node.flwb
-                        .push(FlwbEntry::Read {
-                            addr,
-                            pc,
-                            issued: t,
-                        })
-                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
-                        .expect("checked above");
-                    block_cpu(node, queue, n, CpuStatus::WaitRead, t);
-                    return;
-                }
-                Op::Write { addr, pc: _ } => {
-                    // Write-through, no-write-allocate FLC: the tag array
-                    // is unchanged whether it hits or misses.
-                    let _ = node.flc.write(geometry.block_of(addr));
-                    if node.flwb.is_full() {
-                        // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, queue, n, op, t);
-                        return;
-                    }
-                    node.stats.writes += 1;
-                    node.flwb
-                        .push(FlwbEntry::Write { addr, issued: t })
-                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
-                        .expect("checked above");
-                    if let Some(k) = check.as_deref_mut() {
-                        k.write_issued(n, addr);
-                    }
-                    if sequential {
-                        // Sequential consistency: the processor waits for
-                        // every write to perform globally.
-                        node.status = CpuStatus::WaitWrite;
-                        node.issue_time = t;
-                        node.cpu_time = t;
-                        notify_slc(node, queue, n, t);
-                        return;
-                    }
-                    t += 1;
-                    notify_slc(node, queue, n, t);
-                }
-                Op::Acquire { lock } => {
-                    if node.flwb.is_full() {
-                        // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, queue, n, op, t);
-                        return;
-                    }
-                    node.flwb
-                        .push(FlwbEntry::Acquire { lock, issued: t })
-                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
-                        .expect("checked above");
-                    block_cpu(node, queue, n, CpuStatus::WaitLock, t);
-                    return;
-                }
-                Op::Release { lock } => {
-                    if node.flwb.is_full() {
-                        // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, queue, n, op, t);
-                        return;
-                    }
-                    node.flwb
-                        .push(FlwbEntry::Release { lock, issued: t })
-                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
-                        .expect("checked above");
-                    block_cpu(node, queue, n, CpuStatus::WaitLock, t);
-                    return;
-                }
-                Op::Barrier { id } => {
-                    if node.flwb.is_full() {
-                        // Deferred, not retired: stats count on the retry.
-                        defer_for_flwb(node, queue, n, op, t);
-                        return;
-                    }
-                    node.flwb
-                        .push(FlwbEntry::Barrier { id, issued: t })
-                        // pfsim-lint: allow(K002) -- FLWB checked not-full just above; push cannot fail
-                        .expect("checked above");
-                    block_cpu(node, queue, n, CpuStatus::WaitBarrier, t);
-                    return;
-                }
-            }
-        }
-    }
-
-    /// Completes a blocked demand read at time `done`: fills the FLC,
-    /// accounts the read stall (everything beyond the 1-pclock pipelined
-    /// FLC access), and resumes the processor after the FLC fill.
-    fn serve_waiting_read(&mut self, n: u16, block: BlockAddr, done: Cycle) {
-        let ni = n as usize;
-        if let Some(k) = self.check.as_deref_mut() {
-            k.read_completed(n, block);
-        }
-        let flc_fill = self.cfg.flc_fill;
-        self.nodes[ni].flc.fill(block);
-        let issue = self.nodes[ni].issue_time;
-        self.nodes[ni].stats.read_stall +=
-            (done + flc_fill).saturating_since(issue).saturating_sub(1);
-        self.resume_cpu(n, done + flc_fill);
-    }
-
-    /// Resumes a blocked processor at time `at`.
-    fn resume_cpu(&mut self, n: u16, at: Cycle) {
-        let node = &mut self.nodes[n as usize];
-        debug_assert_ne!(node.status, CpuStatus::Ready);
-        debug_assert_ne!(node.status, CpuStatus::Done);
-        node.status = CpuStatus::Ready;
-        node.cpu_time = node.cpu_time.max(at);
-        self.queue.schedule(node.cpu_time, Ev::CpuStep(n));
-    }
-
-    // ----------------------------------------------------------------
-    // SLC service
-    // ----------------------------------------------------------------
-
-    /// The SLC of node `n` services one job (an incoming message has
-    /// priority over the FLWB head).
-    ///
-    /// After each job the handler decides how to continue. If more work is
-    /// queued it would normally schedule `SlcWork` at the server's free
-    /// time; but when nothing else in the event queue is due at or before
-    /// that time, the scheduled event would pop as the very next event
-    /// with state identical to right now — so the handler serves the next
-    /// job inline instead, skipping the queue round-trip. The peek must be
-    /// strict (`> at`): a same-time event with an earlier sequence number
-    /// would pop first, and fusing past it would reorder the simulation.
-    fn slc_work(&mut self, n: u16, now: Cycle) {
-        let ni = n as usize;
-        let mut now = now;
-        loop {
-            self.nodes[ni].slc_scheduled_at = None;
-
-            if let Some(msg) = self.nodes[ni].incoming.pop_front() {
-                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-                self.handle_slc_msg(n, msg, done);
-            } else {
-                match self.slc_drain_one(n, now) {
-                    Drained::One => {}
-                    Drained::Idle => return,
-                    // A future-issued head whose wakeup would pop as the
-                    // very next event: skip ahead and retry in this event.
-                    Drained::ParkedUntil(at) => {
-                        now = at;
-                        continue;
-                    }
-                }
-            }
-
-            match self.reschedule_or_fuse(n) {
-                // Guaranteed-next: serve the following job in this event.
-                Some(at) => now = at,
-                None => return,
-            }
-        }
-    }
-
-    /// After an SLC job completes: schedules the next job if any work is
-    /// queued, or — when that event would pop as the very next event —
-    /// returns its time so the caller serves it inline instead (the
-    /// fusion rule documented on [`Self::slc_work`]).
-    fn reschedule_or_fuse(&mut self, n: u16) -> Option<Cycle> {
-        let ni = n as usize;
-        let node = &self.nodes[ni];
-        if node.slc_scheduled_at.is_some() {
-            // A handler already armed service (e.g. an unblocked drain).
-            return None;
-        }
-        // A blocked drain only gates FLWB consumption; incoming coherence
-        // messages must keep flowing (they are what unblocks the drain).
-        let has_work = !node.incoming.is_empty()
-            || (node.drain_block == DrainBlock::None && !node.flwb.is_empty());
-        if !has_work {
-            return None;
-        }
-        let at = node.slc_server.free_at();
-        if self.queue.peek_time().is_none_or(|p| p > at) {
-            return Some(at);
-        }
-        self.nodes[ni].slc_scheduled_at = Some(at);
-        self.queue.schedule(at, Ev::SlcWork(n));
-        None
-    }
-
-    /// Drains one FLWB entry at `now` if one is ready. Returns
-    /// [`Drained::Idle`] when service is finished for this event (empty
-    /// buffer, a parked future-issued head, or a blocked drain), or
-    /// [`Drained::ParkedUntil`] when the head is future-issued but its
-    /// wakeup would be guaranteed-next (the caller fast-forwards).
-    fn slc_drain_one(&mut self, n: u16, now: Cycle) -> Drained {
-        let ni = n as usize;
-        // Inspect the head without consuming it: entries that need
-        // resources may have to wait.
-        let Some(head) = self.nodes[ni].flwb.peek().copied() else {
-            // A stale wakeup: an earlier event already drained the queue.
-            self.nodes[ni].stats.spurious_slc_wakeups += 1;
-            return Drained::Idle;
-        };
-        if head.issued() > now {
-            // The processor runs ahead of the event loop; this entry does
-            // not exist yet at SLC time.
-            let at = head.issued();
-            if self.queue.peek_time().is_none_or(|p| p > at) {
-                return Drained::ParkedUntil(at);
-            }
-            let node = &mut self.nodes[ni];
-            node.slc_scheduled_at = Some(at);
-            self.queue.schedule(at, Ev::SlcWork(n));
-            return Drained::Idle;
-        }
-
-        match head {
-            FlwbEntry::Read { addr, pc, .. } => {
-                let block = self.cfg.geometry.block_of(addr);
-                let node = &mut self.nodes[ni];
-                // Check the cheap full/empty gate first: the SLC and MSHR
-                // probes only matter when the MSHR is actually full.
-                if node.mshr.is_full()
-                    && node.slc.lookup(block).is_none()
-                    && !node.mshr.contains(block)
-                {
-                    node.drain_block = DrainBlock::MshrFull;
-                    return Drained::Idle;
-                }
-                self.nodes[ni].flwb.pop();
-                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-                self.slc_read(n, addr, pc, done);
-            }
-            FlwbEntry::Write { addr, .. } => {
-                let block = self.cfg.geometry.block_of(addr);
-                let node = &mut self.nodes[ni];
-                // As above: probe the SLC and MSHR only when the MSHR is
-                // full, which is the only case that can block the drain.
-                if node.mshr.is_full() {
-                    let needs_slot = match node.slc.lookup(block) {
-                        Some(line) => line.state == LineState::Shared && !node.mshr.contains(block),
-                        None => !node.mshr.contains(block),
-                    };
-                    if needs_slot {
-                        node.drain_block = DrainBlock::MshrFull;
-                        return Drained::Idle;
-                    }
-                }
-                self.nodes[ni].flwb.pop();
-                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-                self.slc_write(n, addr, done);
-            }
-            FlwbEntry::Acquire { lock, .. } => {
-                self.nodes[ni].flwb.pop();
-                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-                let home = self.home_of_addr(lock);
-                send(
-                    &mut self.mesh,
-                    &mut self.queue,
-                    self.cfg.geometry,
-                    done,
-                    n,
-                    home,
-                    Msg::LockReq {
-                        lock,
-                        from: NodeId::new(n),
-                    },
-                );
-            }
-            FlwbEntry::Release { lock, .. } => {
-                if self.nodes[ni].pending_write_txns > 0 {
-                    self.nodes[ni].drain_block = DrainBlock::ReleasePending;
-                    return Drained::Idle;
-                }
-                self.nodes[ni].flwb.pop();
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.release_drained(n, lock);
-                }
-                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-                let home = self.home_of_addr(lock);
-                send(
-                    &mut self.mesh,
-                    &mut self.queue,
-                    self.cfg.geometry,
-                    done,
-                    n,
-                    home,
-                    Msg::UnlockReq {
-                        lock,
-                        from: NodeId::new(n),
-                    },
-                );
-                // The release itself completes once issued (the lock
-                // hand-off happens at the home).
-                let issue = self.nodes[ni].issue_time;
-                self.nodes[ni].stats.sync_stall += done.saturating_since(issue);
-                self.resume_cpu(n, done);
-            }
-            FlwbEntry::Barrier { id, .. } => {
-                if self.nodes[ni].pending_write_txns > 0 {
-                    self.nodes[ni].drain_block = DrainBlock::ReleasePending;
-                    return Drained::Idle;
-                }
-                self.nodes[ni].flwb.pop();
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.barrier_drained(n, id);
-                }
-                let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-                let home = id % u32::from(self.cfg.nodes);
-                send(
-                    &mut self.mesh,
-                    &mut self.queue,
-                    self.cfg.geometry,
-                    done,
-                    n,
-                    home as u16,
-                    Msg::BarrierArrive {
-                        id,
-                        from: NodeId::new(n),
-                    },
-                );
-            }
-        }
-
-        // A processor stalled on a full FLWB can retry now that an entry
-        // drained.
-        if self.nodes[ni].status == CpuStatus::WaitFlwb && !self.nodes[ni].flwb.is_full() {
-            let waited = self.nodes[ni]
-                .slc_server
-                .free_at()
-                .saturating_since(self.nodes[ni].issue_time);
-            self.nodes[ni].stats.flwb_stall += waited;
-            let at = self.nodes[ni].slc_server.free_at();
-            self.resume_cpu(n, at);
-        }
-
-        Drained::One
-    }
-
-    /// Clears a drain block of the given kind and restarts SLC service.
-    fn unblock_drain(&mut self, n: u16, kind: DrainBlock, at: Cycle) {
-        let ni = n as usize;
-        if self.nodes[ni].drain_block == kind {
-            self.nodes[ni].drain_block = DrainBlock::None;
-            notify_slc(&mut self.nodes[ni], &mut self.queue, n, at);
-        }
-    }
-
-    /// A demand read request presented to the SLC (the processor is
-    /// blocked on it).
-    fn slc_read(&mut self, n: u16, addr: Addr, pc: pfsim_mem::Pc, done: Cycle) {
-        let ni = n as usize;
-        let block = self.cfg.geometry.block_of(addr);
-        if let Some(k) = self.check.as_deref_mut() {
-            k.read_request(n, addr);
-        }
-
-        let outcome = {
-            let node = &mut self.nodes[ni];
-            match node.slc.demand_access(block) {
-                Some(was_tagged) => {
-                    node.stats.slc_read_hits += 1;
-                    if was_tagged {
-                        node.stats.tagged_hits += 1;
-                        node.stats.prefetches_useful += 1;
-                        ReadOutcome::HitPrefetched
-                    } else {
-                        ReadOutcome::Hit
-                    }
-                }
-                None => {
-                    if let Some(entry) = node.mshr.get_mut(block) {
-                        entry.waiting_cpu = true;
-                        node.stats.delayed_hits += 1;
-                        if entry.kind == TxnKind::Prefetch && !entry.prefetch_consumed {
-                            entry.prefetch_consumed = true;
-                            node.stats.prefetches_useful += 1;
-                            ReadOutcome::InFlightPrefetch
-                        } else {
-                            ReadOutcome::InFlightDemand
-                        }
-                    } else {
-                        node.stats.read_misses += 1;
-                        let cause = node.classify_miss(block);
-                        if node.record {
-                            node.miss_trace.push(MissRecord {
-                                pc,
-                                addr,
-                                block,
-                                cause,
-                            });
-                        }
-                        node.mshr
-                            .alloc(block, {
-                                let mut e = MshrEntry::new(TxnKind::ReadShared);
-                                e.waiting_cpu = true;
-                                e
-                            })
-                            // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
-                            .expect("capacity checked before pop");
-                        ReadOutcome::Miss
-                    }
-                }
-            }
-        };
-
-        if outcome == ReadOutcome::Hit || outcome == ReadOutcome::HitPrefetched {
-            self.serve_waiting_read(n, block, done);
-        } else if outcome == ReadOutcome::Miss {
-            let home = self.home_of(block);
-            send(
-                &mut self.mesh,
-                &mut self.queue,
-                self.cfg.geometry,
-                done,
-                n,
-                home,
-                Msg::CohReq {
-                    block,
-                    req: DirRequest::read_shared(NodeId::new(n)),
-                },
-            );
-        }
-
-        self.run_prefetcher(n, addr, pc, outcome, done);
-    }
-
-    /// A buffered write drained from the FLWB into the SLC.
-    fn slc_write(&mut self, n: u16, addr: Addr, done: Cycle) {
-        let ni = n as usize;
-        let block = self.cfg.geometry.block_of(addr);
-        let node = &mut self.nodes[ni];
-
-        let req = match node.slc.write_access(block) {
-            Some((LineState::Modified, was_tagged)) => {
-                // Write hit on an owned block: absorbed. A write consuming
-                // a prefetched-tagged block counts the prefetch useful (it
-                // turned a write miss into a hit); `write_access` already
-                // cleared the tag so it cannot fire again later.
-                if was_tagged {
-                    node.stats.prefetches_useful += 1;
-                }
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.write_applied(n, addr);
-                }
-                self.resume_write(n, done);
-                return;
-            }
-            Some((LineState::Shared, was_tagged)) => {
-                // Shared: need ownership. A prefetched tag is consumed by
-                // the write exactly as in the Modified case.
-                if was_tagged {
-                    node.stats.prefetches_useful += 1;
-                }
-                if node.mshr.contains(block) {
-                    // Upgrade already in flight: the write merges into it.
-                    if let Some(k) = self.check.as_deref_mut() {
-                        k.write_deferred(n, addr);
-                    }
-                    return;
-                }
-                node.mshr
-                    .alloc(block, {
-                        let mut e = MshrEntry::new(TxnKind::Upgrade);
-                        e.write_pending = true;
-                        e
-                    })
-                    // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
-                    .expect("capacity checked before pop");
-                node.pending_write_txns += 1;
-                DirRequest::Upgrade {
-                    from: NodeId::new(n),
-                }
-            }
-            None => {
-                if let Some(entry) = node.mshr.get_mut(block) {
-                    if !entry.write_pending {
-                        entry.write_pending = true;
-                        node.pending_write_txns += 1;
-                    }
-                    if let Some(k) = self.check.as_deref_mut() {
-                        k.write_deferred(n, addr);
-                    }
-                    return;
-                }
-                node.mshr
-                    .alloc(block, {
-                        let mut e = MshrEntry::new(TxnKind::ReadExclusive);
-                        e.write_pending = true;
-                        e
-                    })
-                    // pfsim-lint: allow(K002) -- MSHR capacity reserved before the op was popped from the lane
-                    .expect("capacity checked before pop");
-                node.pending_write_txns += 1;
-                DirRequest::ReadExclusive {
-                    from: NodeId::new(n),
-                }
-            }
-        };
-        if let Some(k) = self.check.as_deref_mut() {
-            k.write_deferred(n, addr);
-        }
-        let home = self.home_of(block);
-        send(
-            &mut self.mesh,
-            &mut self.queue,
-            self.cfg.geometry,
-            done,
-            n,
-            home,
-            Msg::CohReq { block, req },
-        );
-    }
-
-    /// Feeds the prefetcher and issues the surviving candidates.
-    fn run_prefetcher(
-        &mut self,
-        n: u16,
-        addr: Addr,
-        pc: pfsim_mem::Pc,
-        outcome: ReadOutcome,
-        done: Cycle,
-    ) {
-        let ni = n as usize;
-        let mut candidates = std::mem::take(&mut self.nodes[ni].pf_scratch);
-        candidates.clear();
-        self.nodes[ni]
-            .prefetcher
-            .on_read(&ReadAccess { pc, addr, outcome }, &mut candidates);
-
-        let mut issued = 0u32;
-        for &block in &candidates {
-            let node = &mut self.nodes[ni];
-            if node.slc.contains(block) {
-                node.stats.pf_dropped_present += 1;
-                continue;
-            }
-            if node.mshr.contains(block) {
-                node.stats.pf_dropped_inflight += 1;
-                continue;
-            }
-            if node.mshr.is_full() {
-                node.stats.pf_dropped_full += 1;
-                continue;
-            }
-            node.mshr
-                .alloc(block, MshrEntry::new(TxnKind::Prefetch))
-                // pfsim-lint: allow(K002) -- MSHR checked not-full just above; alloc cannot fail
-                .expect("checked above");
-            node.stats.prefetches_issued += 1;
-            issued += 1;
-            let home = self.home_of(block);
-            send(
-                &mut self.mesh,
-                &mut self.queue,
-                self.cfg.geometry,
-                done,
-                n,
-                home,
-                Msg::CohReq {
-                    block,
-                    req: DirRequest::prefetch(NodeId::new(n)),
-                },
-            );
-        }
-        if !candidates.is_empty() {
-            self.nodes[ni].prefetcher.on_prefetches_issued(issued);
-        }
-        self.nodes[ni].pf_scratch = candidates;
-    }
-
-    // ----------------------------------------------------------------
-    // SLC-side message handling
-    // ----------------------------------------------------------------
-
-    fn handle_slc_msg(&mut self, n: u16, msg: Msg, done: Cycle) {
-        let ni = n as usize;
-        match msg {
-            Msg::Fetch { block, inval, home } => {
-                let node = &mut self.nodes[ni];
-                // One tag-store probe: the removal/downgrade result doubles
-                // as the presence check.
-                let had_copy = if inval {
-                    if node.slc.invalidate(block).is_some() {
-                        node.flc.invalidate(block);
-                        node.removal
-                            .insert(block.as_u64(), crate::stats::MissCause::Coherence);
-                        true
-                    } else {
-                        false
-                    }
-                } else {
-                    node.slc.downgrade(block)
-                };
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.fetch_supplied(n, block, inval, had_copy);
-                }
-                send(
-                    &mut self.mesh,
-                    &mut self.queue,
-                    self.cfg.geometry,
-                    done,
-                    n,
-                    home.as_u16(),
-                    Msg::FetchReply { block, had_copy },
-                );
-            }
-            Msg::Inval { block, home } => {
-                let node = &mut self.nodes[ni];
-                node.stats.invals_received += 1;
-                if node.slc.invalidate(block).is_some() {
-                    node.flc.invalidate(block);
-                    node.removal
-                        .insert(block.as_u64(), crate::stats::MissCause::Coherence);
-                }
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.invalidated(n, block);
-                }
-                send(
-                    &mut self.mesh,
-                    &mut self.queue,
-                    self.cfg.geometry,
-                    done,
-                    n,
-                    home.as_u16(),
-                    Msg::InvalAck { block },
-                );
-            }
-            Msg::DataReply {
-                block,
-                exclusive,
-                prefetch,
-            } => {
-                // Protocol cross-check: the home's view of the request
-                // kind must match the requester's outstanding entry.
-                debug_assert_eq!(
-                    prefetch,
-                    self.nodes[ni]
-                        .mshr
-                        .get(block)
-                        .is_some_and(|e| e.kind == TxnKind::Prefetch),
-                    "home and requester disagree about a prefetch"
-                );
-                self.slc_fill(n, block, exclusive, done);
-            }
-            Msg::AckReply { block } => {
-                let node = &mut self.nodes[ni];
-                let entry = node
-                    .mshr
-                    .remove(block)
-                    // pfsim-lint: allow(K002) -- protocol trap: an ack always matches an open upgrade transaction
-                    .expect("upgrade ack without transaction");
-                debug_assert_eq!(entry.kind, TxnKind::Upgrade);
-                if node.slc.promote(block) {
-                    if let Some(k) = self.check.as_deref_mut() {
-                        k.promote(n, block);
-                    }
-                    if entry.waiting_cpu {
-                        // A read merged into the upgrade: the block is
-                        // resident, serve it now.
-                        self.serve_waiting_read(n, block, done);
-                    }
-                } else {
-                    // The shared line was displaced by a conflicting fill
-                    // while the upgrade was in flight (finite SLC). We now
-                    // own a block we no longer hold: return it to memory
-                    // immediately so the directory stays consistent. The
-                    // displaced copy was clean, so memory is already
-                    // current and this writeback carries no new data — it
-                    // is an ownership relinquish that this protocol
-                    // expresses as a (rare) data-sized writeback.
-                    if let Some(k) = self.check.as_deref_mut() {
-                        k.promote_failed(n, block);
-                    }
-                    let node = &mut self.nodes[ni];
-                    node.stats.writebacks += 1;
-                    let home = self.home_of(block);
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        done,
-                        n,
-                        home,
-                        Msg::CohReq {
-                            block,
-                            req: DirRequest::Writeback {
-                                from: NodeId::new(n),
-                            },
-                        },
-                    );
-                    // The store (and any merged read) still has to
-                    // complete: re-issue as a read-exclusive. The
-                    // writeback is sent first over the same route, so it
-                    // is delivered first — per-link FIFO for remote homes,
-                    // and the event queue's scheduled-order tie-break for
-                    // the local-home case. The pending-write accounting
-                    // carries over to the new transaction.
-                    let node = &mut self.nodes[ni];
-                    node.mshr
-                        .alloc(block, {
-                            let mut e = MshrEntry::new(TxnKind::ReadExclusive);
-                            e.waiting_cpu = entry.waiting_cpu;
-                            e.write_pending = entry.write_pending;
-                            e
-                        })
-                        // pfsim-lint: allow(K002) -- re-allocating the MSHR slot freed by the remove above
-                        .expect("slot just freed");
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        done,
-                        n,
-                        home,
-                        Msg::CohReq {
-                            block,
-                            req: DirRequest::ReadExclusive {
-                                from: NodeId::new(n),
-                            },
-                        },
-                    );
-                    self.unblock_drain(n, DrainBlock::MshrFull, done);
-                    return;
-                }
-                if entry.write_pending {
-                    self.complete_write(n, done);
-                }
-                self.unblock_drain(n, DrainBlock::MshrFull, done);
-            }
-            other => unreachable!("SLC received non-SLC message {other:?}"),
-        }
-    }
-
-    /// A data reply fills the SLC, completes the waiting transaction, and
-    /// resumes a blocked processor or follows up with an ownership upgrade
-    /// as needed.
-    fn slc_fill(&mut self, n: u16, block: BlockAddr, exclusive: bool, done: Cycle) {
-        let ni = n as usize;
-
-        let entry = self.nodes[ni]
-            .mshr
-            .remove(block)
-            // pfsim-lint: allow(K002) -- protocol trap: a data reply always matches an open transaction
-            .expect("data reply without transaction");
-
-        // Insert the block; a finite SLC may evict a victim.
-        let state = if exclusive {
-            LineState::Modified
-        } else {
-            LineState::Shared
-        };
-        let tagged =
-            entry.kind == TxnKind::Prefetch && !entry.prefetch_consumed && !entry.waiting_cpu;
-        let eviction = self.nodes[ni].slc.fill(block, state, tagged);
-        match eviction {
-            Eviction::None => {}
-            Eviction::Clean(victim) => {
-                let node = &mut self.nodes[ni];
-                node.flc.invalidate(victim);
-                node.removal
-                    .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.evict(n, victim, false);
-                }
-                // Clean copies are dropped silently; the directory's
-                // presence bit goes stale and a future invalidation will
-                // simply be acknowledged without effect.
-            }
-            Eviction::Dirty(victim) => {
-                let node = &mut self.nodes[ni];
-                node.flc.invalidate(victim);
-                node.removal
-                    .insert(victim.as_u64(), crate::stats::MissCause::Replacement);
-                node.stats.writebacks += 1;
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.evict(n, victim, true);
-                }
-                let home = self.home_of(victim);
-                send(
-                    &mut self.mesh,
-                    &mut self.queue,
-                    self.cfg.geometry,
-                    done,
-                    n,
-                    home,
-                    Msg::CohReq {
-                        block: victim,
-                        req: DirRequest::Writeback {
-                            from: NodeId::new(n),
-                        },
-                    },
-                );
-            }
-        }
-
-        if let Some(k) = self.check.as_deref_mut() {
-            k.fill(n, block, exclusive);
-        }
-
-        if entry.waiting_cpu {
-            self.serve_waiting_read(n, block, done);
-        }
-
-        if entry.write_pending {
-            if exclusive {
-                self.complete_write(n, done);
-            } else {
-                // Ownership still needed: chain an upgrade. The slot just
-                // freed guarantees space.
-                let node = &mut self.nodes[ni];
-                node.mshr
-                    .alloc(block, {
-                        let mut e = MshrEntry::new(TxnKind::Upgrade);
-                        e.write_pending = true;
-                        e
-                    })
-                    // pfsim-lint: allow(K002) -- re-allocating the MSHR slot freed by the remove above
-                    .expect("slot just freed");
-                let home = self.home_of(block);
-                send(
-                    &mut self.mesh,
-                    &mut self.queue,
-                    self.cfg.geometry,
-                    done,
-                    n,
-                    home,
-                    Msg::CohReq {
-                        block,
-                        req: DirRequest::Upgrade {
-                            from: NodeId::new(n),
-                        },
-                    },
-                );
-            }
-        }
-
-        self.unblock_drain(n, DrainBlock::MshrFull, done);
-    }
-
-    /// A write transaction completed: release-consistency bookkeeping
-    /// (and, under sequential consistency, the waiting processor resumes).
-    fn complete_write(&mut self, n: u16, at: Cycle) {
-        let ni = n as usize;
-        debug_assert!(self.nodes[ni].pending_write_txns > 0);
-        self.nodes[ni].pending_write_txns -= 1;
-        if self.nodes[ni].pending_write_txns == 0 {
-            self.unblock_drain(n, DrainBlock::ReleasePending, at);
-        }
-        self.resume_write(n, at);
-    }
-
-    /// Resumes a processor blocked on a write (sequential consistency).
-    fn resume_write(&mut self, n: u16, at: Cycle) {
-        let ni = n as usize;
-        if self.cfg.consistency == crate::ConsistencyModel::Sequential
-            && self.nodes[ni].status == CpuStatus::WaitWrite
-        {
-            let issue = self.nodes[ni].issue_time;
-            self.nodes[ni].stats.write_stall += at.saturating_since(issue).saturating_sub(1);
-            self.resume_cpu(n, at);
-        }
-    }
-
-    // ----------------------------------------------------------------
-    // Home-side (directory, memory, locks, barriers)
-    // ----------------------------------------------------------------
-
-    /// Serves one request at the home node's controller: occupancy-limited
-    /// throughput plus pipeline latency.
-    fn home_service(&mut self, ni: usize, now: Cycle) -> Cycle {
-        self.nodes[ni].dir_server.serve(now, self.cfg.dir_occupancy) + self.cfg.dir_extra_latency
-    }
-
-    fn deliver(&mut self, n: u16, msg: Msg, now: Cycle) {
-        let ni = n as usize;
-        match msg {
-            Msg::CohReq { block, req } => {
-                let t0 = self.home_service(ni, now);
-                if let Some(k) = self.check.as_deref_mut() {
-                    match req {
-                        DirRequest::Writeback { from } => {
-                            k.home_begin_writeback(n, block, from.as_u16());
-                        }
-                        _ => k.home_begin(n, block),
-                    }
-                }
-                let mut actions = std::mem::take(&mut self.dir_actions);
-                actions.clear();
-                self.nodes[ni].dir.request(block, req, &mut actions);
-                self.exec_dir_actions(n, block, &actions, t0);
-                self.dir_actions = actions;
-            }
-            Msg::FetchReply { block, had_copy } => {
-                let t0 = self.home_service(ni, now);
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.home_begin_fetch(n, block, had_copy);
-                }
-                let mut actions = std::mem::take(&mut self.dir_actions);
-                actions.clear();
-                self.nodes[ni].dir.fetch_done(block, had_copy, &mut actions);
-                self.exec_dir_actions(n, block, &actions, t0);
-                self.dir_actions = actions;
-            }
-            Msg::InvalAck { block } => {
-                let t0 = self.home_service(ni, now);
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.home_begin(n, block);
-                }
-                let mut actions = std::mem::take(&mut self.dir_actions);
-                actions.clear();
-                self.nodes[ni].dir.inval_ack(block, &mut actions);
-                self.exec_dir_actions(n, block, &actions, t0);
-                self.dir_actions = actions;
-            }
-            Msg::Fetch { .. }
-            | Msg::Inval { .. }
-            | Msg::DataReply { .. }
-            | Msg::AckReply { .. } => {
-                // Fast path: the SLC is idle and nothing else is due at
-                // `now` (strictly later or empty queue), so queueing the
-                // message and scheduling `SlcWork(now)` would fire that
-                // event as the very next pop with identical state. Serve
-                // the message inline instead and skip the round-trip. The
-                // peek must be strict: a same-time event with an earlier
-                // sequence number would pop first.
-                if self.nodes[ni].incoming.is_empty()
-                    && self.nodes[ni].slc_server.is_idle_at(now)
-                    && self.queue.peek_time().is_none_or(|t| t > now)
-                {
-                    self.nodes[ni].slc_scheduled_at = None;
-                    let done = self.nodes[ni].slc_server.serve(now, self.cfg.slc_service);
-                    self.handle_slc_msg(n, msg, done);
-                    if let Some(at) = self.reschedule_or_fuse(n) {
-                        self.slc_work(n, at);
-                    }
-                } else {
-                    self.nodes[ni].incoming.push_back(msg);
-                    notify_slc(&mut self.nodes[ni], &mut self.queue, n, now);
-                }
-            }
-            Msg::LockReq { lock, from } => {
-                let t0 = self.home_service(ni, now);
-                if self.nodes[ni].locks.acquire(lock, from) {
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        t0,
-                        n,
-                        from.as_u16(),
-                        Msg::LockGrant { lock },
-                    );
-                }
-            }
-            Msg::UnlockReq { lock, from } => {
-                let t0 = self.home_service(ni, now);
-                if let Some(next) = self.nodes[ni].locks.release(lock, from) {
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        t0,
-                        n,
-                        next.as_u16(),
-                        Msg::LockGrant { lock },
-                    );
-                }
-            }
-            Msg::LockGrant { lock } => {
-                debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitLock);
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.lock_granted(n, lock);
-                }
-                let issue = self.nodes[ni].issue_time;
-                self.nodes[ni].stats.sync_stall += now.saturating_since(issue);
-                self.resume_cpu(n, now + 1);
-            }
-            Msg::BarrierArrive { id, from } => {
-                let expected = self.cfg.nodes as usize;
-                if let Some(participants) = self.barriers.arrive(id, from, expected) {
-                    let t0 = self.home_service(ni, now);
-                    for p in participants {
-                        send(
-                            &mut self.mesh,
-                            &mut self.queue,
-                            self.cfg.geometry,
-                            t0,
-                            n,
-                            p.as_u16(),
-                            Msg::BarrierRelease { id },
-                        );
-                    }
-                }
-            }
-            Msg::BarrierRelease { id } => {
-                debug_assert_eq!(self.nodes[ni].status, CpuStatus::WaitBarrier);
-                if let Some(k) = self.check.as_deref_mut() {
-                    k.barrier_released(n, id);
-                }
-                let issue = self.nodes[ni].issue_time;
-                self.nodes[ni].stats.barrier_stall += now.saturating_since(issue);
-                self.resume_cpu(n, now + 1);
-            }
-        }
-    }
-
-    /// Executes the directory's actions at home node `h`, threading the
-    /// memory latency into data replies.
-    fn exec_dir_actions(&mut self, h: u16, block: BlockAddr, actions: &ActionBuf, t0: Cycle) {
-        let hi = h as usize;
-        let mut data_ready = t0;
-        for action in actions.iter().copied() {
-            match action {
-                DirAction::ReadMemory => {
-                    if let Some(k) = self.check.as_deref_mut() {
-                        k.home_read_memory(block);
-                    }
-                    let (start, end) = self.nodes[hi]
-                        .mem
-                        .serve_timed(data_ready, self.cfg.mem_occupancy);
-                    let _ = start;
-                    data_ready = end + self.cfg.mem_extra_latency;
-                }
-                DirAction::WriteMemory => {
-                    if let Some(k) = self.check.as_deref_mut() {
-                        k.home_write_memory(block);
-                    }
-                    self.nodes[hi].mem.serve(t0, self.cfg.mem_occupancy);
-                }
-                DirAction::SendData {
-                    to,
-                    exclusive,
-                    prefetch,
-                } => {
-                    if let Some(k) = self.check.as_deref_mut() {
-                        k.home_send_data(block, to.as_u16());
-                    }
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        data_ready,
-                        h,
-                        to.as_u16(),
-                        Msg::DataReply {
-                            block,
-                            exclusive,
-                            prefetch,
-                        },
-                    );
-                }
-                DirAction::SendAck { to } => {
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        t0,
-                        h,
-                        to.as_u16(),
-                        Msg::AckReply { block },
-                    );
-                }
-                DirAction::Fetch { owner } => {
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        t0,
-                        h,
-                        owner.as_u16(),
-                        Msg::Fetch {
-                            block,
-                            inval: false,
-                            home: NodeId::new(h),
-                        },
-                    );
-                }
-                DirAction::FetchInval { owner } => {
-                    send(
-                        &mut self.mesh,
-                        &mut self.queue,
-                        self.cfg.geometry,
-                        t0,
-                        h,
-                        owner.as_u16(),
-                        Msg::Fetch {
-                            block,
-                            inval: true,
-                            home: NodeId::new(h),
-                        },
-                    );
-                }
-                DirAction::Invalidate { targets } => {
-                    for target in targets.iter() {
-                        send(
-                            &mut self.mesh,
-                            &mut self.queue,
-                            self.cfg.geometry,
-                            t0,
-                            h,
-                            target.as_u16(),
-                            Msg::Inval {
-                                block,
-                                home: NodeId::new(h),
-                            },
-                        );
-                    }
-                }
-            }
-        }
+        home_of(&self.cfg, block)
     }
 }

@@ -38,7 +38,7 @@ pub const LINTS: &[Lint] = &[
     },
     Lint {
         id: "K001",
-        summary: "simulation-clock fields are written only inside the event kernel (core/src/system.rs)",
+        summary: "simulation-clock fields are written only inside the event kernels (core/src/{system,shard}.rs)",
     },
     Lint {
         id: "K002",
@@ -51,6 +51,10 @@ pub const LINTS: &[Lint] = &[
     Lint {
         id: "S000",
         summary: "malformed pfsim-lint suppression comment (missing ids or ` -- reason`)",
+    },
+    Lint {
+        id: "T001",
+        summary: "threads and sync primitives only in approved concurrency modules (bench/parallel, bench/lib, core/shard)",
     },
     Lint {
         id: "U001",
@@ -139,7 +143,7 @@ fn is_hot_path(f: &File) -> bool {
         Some("core") => {
             matches!(
                 file_name(&f.path),
-                "system.rs" | "node.rs" | "sync.rs" | "msg.rs"
+                "system.rs" | "shard.rs" | "node.rs" | "sync.rs" | "msg.rs"
             ) && f.path.contains("/src/")
         }
         Some("sim-engine") => {
@@ -181,6 +185,7 @@ fn file_lints(f: &File, out: &mut Vec<Finding>) {
     s000_malformed_suppressions(f, out);
     u001_safety_comments(f, out);
     k001_clock_writes(f, out);
+    t001_thread_primitives(f, out);
     if is_sim_crate(f) {
         d001_std_hash(f, out);
         d002_wallclock(f, out);
@@ -246,8 +251,13 @@ fn u001_safety_comments(f: &File, out: &mut Vec<Finding>) {
 /// kernel cursor plus the per-node processor clocks.
 const CLOCK_FIELDS: &[&str] = &["last_time", "cpu_time", "issue_time"];
 
+/// The files forming the event kernel: the only places simulated time may
+/// advance. The serial loop and the sharded leader both fold event times
+/// into `last_time`; everything else only reads the clocks.
+const KERNEL_FILES: &[&str] = &["crates/core/src/system.rs", "crates/core/src/shard.rs"];
+
 fn k001_clock_writes(f: &File, out: &mut Vec<Finding>) {
-    if f.path == "crates/core/src/system.rs" {
+    if KERNEL_FILES.contains(&f.path.as_str()) {
         return;
     }
     for i in 1..f.tokens.len() {
@@ -268,9 +278,64 @@ fn k001_clock_writes(f: &File, out: &mut Vec<Finding>) {
                 "K001",
                 f.tokens[i].line,
                 format!(
-                    "simulation-clock field `{}` written outside the event kernel \
-                     (crates/core/src/system.rs)",
+                    "simulation-clock field `{}` written outside the event kernels \
+                     (crates/core/src/{{system,shard}}.rs)",
                     f.t(i)
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// T001: thread/sync primitives outside approved concurrency modules
+// ---------------------------------------------------------------------
+
+/// The only non-test modules allowed to spawn threads or hold sync
+/// primitives: the grid-level fan-out harness, the trace cache it shares,
+/// and the sharded event kernel's leader/worker handshake. Everything
+/// else must stay single-threaded so determinism arguments stay local to
+/// these files.
+const CONCURRENCY_MODULES: &[&str] = &[
+    "crates/bench/src/parallel.rs",
+    "crates/bench/src/lib.rs",
+    "crates/core/src/shard.rs",
+];
+
+/// Sync primitive type names banned outside [`CONCURRENCY_MODULES`].
+/// `Arc` is deliberately absent: immutable sharing is harmless and
+/// widespread (packed traces, spec tables).
+const SYNC_PRIMITIVES: &[&str] = &["Mutex", "RwLock", "Condvar", "OnceLock", "mpsc"];
+
+/// `std::thread` functions banned outside [`CONCURRENCY_MODULES`] (only
+/// flagged as the `thread::name` path form, to spare unrelated local
+/// idents like a variable named `scope`).
+const THREAD_CALLS: &[&str] = &["spawn", "scope", "yield_now", "park", "sleep"];
+
+fn t001_thread_primitives(f: &File, out: &mut Vec<Finding>) {
+    if CONCURRENCY_MODULES.contains(&f.path.as_str()) {
+        return;
+    }
+    for (i, tok) in f.tokens.iter().enumerate() {
+        if tok.kind != Kind::Ident || f.in_test(tok.line) {
+            continue;
+        }
+        let text = f.t(i);
+        let banned = SYNC_PRIMITIVES.contains(&text)
+            || text.starts_with("Atomic")
+            || (THREAD_CALLS.contains(&text)
+                && i >= 2
+                && f.is_punct(i - 1, "::")
+                && f.t(i - 2) == "thread");
+        if banned {
+            out.push(finding(
+                f,
+                "T001",
+                tok.line,
+                format!(
+                    "`{text}` outside an approved concurrency module: threads and \
+                     sync primitives live only in {}",
+                    CONCURRENCY_MODULES.join(", ")
                 ),
             ));
         }

@@ -1,0 +1,15 @@
+//@ path: crates/core/src/fix.rs
+//@ expect: T001 6
+//@ expect: T001 7
+//@ expect: T001 10
+//@ expect: T001 14
+use std::sync::Mutex;
+use std::sync::atomic::AtomicU32;
+
+pub struct Holder {
+    pub count: AtomicU32,
+}
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

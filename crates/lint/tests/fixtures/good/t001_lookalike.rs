@@ -1,0 +1,22 @@
+//@ path: crates/network/src/fix.rs
+// Thread-adjacent *names* outside the `thread::` path form are fine, and
+// test regions are exempt entirely.
+pub struct Pool;
+
+impl Pool {
+    pub fn spawn(&self) {}
+}
+
+pub fn run(scope: u32) -> u32 {
+    let pool = Pool;
+    pool.spawn();
+    scope
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_thread() {
+        std::thread::scope(|_s| {});
+    }
+}

@@ -76,7 +76,7 @@ pub struct ReadAccess {
 /// already in flight, and for tagging arriving blocks; schemes are
 /// responsible for never proposing a block outside the page of the
 /// triggering access.
-pub trait Prefetcher {
+pub trait Prefetcher: Send {
     /// Observes one read request and appends prefetch candidates to `out`.
     ///
     /// `out` is not cleared: the caller may batch candidates. Candidates

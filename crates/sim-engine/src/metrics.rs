@@ -247,6 +247,74 @@ impl MetricsSnapshot {
             .find(|(n, _)| n == name)
             .map(|(_, h)| h)
     }
+
+    /// Human-readable differences between two snapshots, one line per
+    /// diverging metric (empty when bit-identical). Built for equivalence
+    /// harnesses — e.g. the serial-vs-sharded kernel gate — where "which
+    /// metric moved, and by how much" is the whole debugging story and
+    /// two full `Debug` dumps would bury it.
+    pub fn diff(&self, other: &MetricsSnapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        diff_keyed(&self.counters, &other.counters, &mut out, |name, a, b| {
+            format!("counter {name}: {a:?} != {b:?}")
+        });
+        diff_keyed(
+            &self.histograms,
+            &other.histograms,
+            &mut out,
+            |name, a, b| match (a, b) {
+                (Some(a), Some(b)) => format!(
+                    "histogram {name}: count {} vs {}, sum {} vs {}, max {} vs {}",
+                    a.count, b.count, a.sum, b.sum, a.max, b.max
+                ),
+                _ => format!(
+                    "histogram {name}: present {} vs {}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            },
+        );
+        out
+    }
+}
+
+/// Walks two name-sorted `(name, value)` lists in lockstep and reports
+/// every key that is missing on one side or differs in value.
+fn diff_keyed<V: PartialEq>(
+    a: &[(String, V)],
+    b: &[(String, V)],
+    out: &mut Vec<String>,
+    describe: impl Fn(&str, Option<&V>, Option<&V>) -> String,
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some((ka, va)), Some((kb, vb))) if ka == kb => {
+                if va != vb {
+                    out.push(describe(ka, Some(va), Some(vb)));
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some((ka, va)), Some((kb, _))) if ka < kb => {
+                out.push(describe(ka, Some(va), None));
+                i += 1;
+            }
+            (Some(_), Some((kb, vb))) => {
+                out.push(describe(kb, None, Some(vb)));
+                j += 1;
+            }
+            (Some((ka, va)), None) => {
+                out.push(describe(ka, Some(va), None));
+                i += 1;
+            }
+            (None, Some((kb, vb))) => {
+                out.push(describe(kb, None, Some(vb)));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +333,44 @@ mod tests {
         assert_eq!(snap.counter("c"), Some(0));
         assert_eq!(snap.histogram("h").unwrap().count, 0);
         assert_eq!(snap.counter("gauge"), None);
+    }
+
+    #[test]
+    fn diff_reports_each_divergence_once() {
+        let mut a = Registry::new(true);
+        let ca = a.counter("events");
+        a.inc(ca, 3);
+        let ha = a.histogram("depth");
+        a.observe(ha, 4);
+
+        let mut b = Registry::new(true);
+        let cb = b.counter("events");
+        b.inc(cb, 5);
+        b.record("extra_gauge", 1);
+        let hb = b.histogram("depth");
+        b.observe(hb, 4);
+
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert!(sa.diff(&sa.clone()).is_empty());
+        let d = sa.diff(&sb);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|l| l.contains("counter events")), "{d:?}");
+        assert!(d.iter().any(|l| l.contains("extra_gauge")), "{d:?}");
+    }
+
+    #[test]
+    fn diff_sees_histogram_divergence() {
+        let mut a = Registry::new(true);
+        let h = a.histogram("depth");
+        a.observe(h, 4);
+        let mut b = Registry::new(true);
+        let h = b.histogram("depth");
+        b.observe(h, 4);
+        b.observe(h, 9);
+        let d = a.snapshot().diff(&b.snapshot());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("histogram depth"), "{d:?}");
+        assert!(d[0].contains("count 1 vs 2"), "{d:?}");
     }
 
     #[test]

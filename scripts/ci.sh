@@ -55,6 +55,13 @@ cargo test -q -p pfsim-check --release --offline --test litmus
 echo "==> pfsim-fuzz --smoke (200 seeded random traces, oracle on)"
 ./target/release/pfsim-fuzz --smoke
 
+echo "==> sharded-kernel determinism gate (full matrix, 1/2/4-thread rotation)"
+# Serial vs sharded bit-identity over the whole scheme x app matrix,
+# metrics registry included, plus an oracle-on sharded cell (the
+# PFSIM_CHECK cell of the grid, judged at 2 threads). The litmus stage
+# above already proved the sharded oracle hook stream on every shape.
+cargo test -q -p pfsim-bench --release --offline --test sharded -- --include-ignored
+
 if [[ "$run_perf" == 1 ]]; then
     echo "==> perfsmoke (throughput + packed pclock/bytes-per-op + manifest validation)"
     # perfsmoke drives a 24-cell ExperimentSpec end-to-end; --check fails
@@ -67,6 +74,12 @@ if [[ "$run_perf" == 1 ]]; then
     # exact same pclock total --check just validated, or checking is
     # perturbing the simulation.
     PFSIM_CHECK=1 ./target/release/perfsmoke --label ci-checked --check
+
+    echo "==> perfsmoke --large (event-kernel-bound grid; ledger BENCH_PR6.json)"
+    # The large grid is where the event kernel dominates wall-clock (the
+    # sharded kernel's target workload); --check pins its pclock total to
+    # the BENCH_PR6.json seed the same way the default grid pins 14059066.
+    ./target/release/perfsmoke --large --label ci-large --check
 fi
 
 echo "==> CI gate passed"

@@ -11,6 +11,7 @@ use pfsim::{MissRecord, SimResult};
 use pfsim_analysis::{MissEvent, RunMetrics};
 use pfsim_workloads::{App, PackedTrace, TraceCursor, TraceWorkload};
 
+pub mod ledger;
 pub mod manifest;
 mod parallel;
 pub mod spec;

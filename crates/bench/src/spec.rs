@@ -22,13 +22,14 @@
 //! run.write_manifest().unwrap();
 //! ```
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use pfsim::{SimResult, System, SystemConfig};
+use pfsim::{Checkpoint, Cycle, SimResult, System, SystemConfig};
 use pfsim_check::ConsistencyOracle;
 use pfsim_prefetch::Scheme;
-use pfsim_workloads::App;
+use pfsim_workloads::{App, TraceCursor};
 
 use crate::{cursor, par_map, shared_trace, Size};
 
@@ -61,6 +62,8 @@ pub struct ExperimentSpec {
     pub(crate) parallel: bool,
     pub(crate) quiet: bool,
     pub(crate) threads: usize,
+    pub(crate) warmup: u64,
+    pub(crate) warmup_share: bool,
 }
 
 impl ExperimentSpec {
@@ -78,6 +81,8 @@ impl ExperimentSpec {
             parallel: true,
             quiet: false,
             threads: shards_from_env(),
+            warmup: 0,
+            warmup_share: true,
         }
     }
 
@@ -160,6 +165,35 @@ impl ExperimentSpec {
     /// Suppresses the per-cell progress lines on stderr.
     pub fn quiet(mut self) -> Self {
         self.quiet = true;
+        self
+    }
+
+    /// Declares a warmup boundary at `pclocks` (0 disables, the default).
+    ///
+    /// A warmed cell runs its first `pclocks` with the prefetcher
+    /// detached ([`Scheme::None`]), attaches the variant's scheme at the
+    /// boundary with empty detection tables, and runs on — mirroring the
+    /// paper's methodology of measuring every scheme over the same
+    /// warmed-up machine. Because the warmup prefix is scheme-independent
+    /// by construction, cells sharing an `(app, size, stripped-config)`
+    /// prefix fork from one cached [`pfsim::Checkpoint`] instead of
+    /// re-simulating it: an N-cell ablation costs 1 warmup + N deltas,
+    /// bit-identical to simulating each warmed cell straight through
+    /// (which [`warmup_straight`](Self::warmup_straight) forces, for
+    /// validating exactly that).
+    ///
+    /// Warmed cells run cell-serially on the serial kernel (a checkpoint
+    /// may carry a forked consistency oracle, which stays on one thread).
+    pub fn warmup(mut self, pclocks: u64) -> Self {
+        self.warmup = pclocks;
+        self
+    }
+
+    /// Disables checkpoint sharing for a warmed spec: every cell
+    /// re-simulates its warmup prefix from cold. Only useful for proving
+    /// the checkpoint path bit-identical — it is strictly slower.
+    pub fn warmup_straight(mut self) -> Self {
+        self.warmup_share = false;
         self
     }
 
@@ -250,10 +284,17 @@ impl Runner {
         let gen_seconds = gen_start.elapsed().as_secs_f64();
 
         let sim_start = Instant::now();
+        assert!(
+            spec.warmup == 0 || spec.threads <= 1,
+            "warmed specs run on the serial kernel (threads <= 1): the sharded kernel seeds \
+             a cold machine and cannot resume a checkpoint"
+        );
         let jobs: Vec<(usize, usize)> = (0..spec.apps.len())
             .flat_map(|a| (0..spec.variants.len()).map(move |v| (a, v)))
             .collect();
-        let run_cell = |(app_idx, var_idx): (usize, usize)| {
+        let checked = check_from_env();
+        let run_cell = |(app_idx, var_idx): (usize, usize),
+                        ckpt: Option<&Checkpoint<TraceCursor>>| {
             let app = spec.apps[app_idx];
             let variant = &spec.variants[var_idx];
             let size = variant.size.unwrap_or(spec.size);
@@ -261,18 +302,40 @@ impl Runner {
             if spec.instrument {
                 cfg = cfg.with_instrumentation(true);
             }
-            let checked = check_from_env();
             let (geometry, nodes) = (cfg.geometry, cfg.nodes as usize);
             let start = Instant::now();
-            let mut sys = System::new(cfg, cursor(app, size));
-            if checked {
-                sys.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
-            }
-            let result = if spec.threads > 1 {
-                sys.run_threads(spec.threads)
+            let mut sys;
+            let result;
+            if spec.warmup > 0 {
+                // Warmed cell: reach the boundary (by restoring the shared
+                // checkpoint or by simulating the scheme-free prefix from
+                // cold — bit-identical by construction), then attach the
+                // variant's scheme and run on.
+                let scheme = cfg.scheme;
+                sys = match ckpt {
+                    Some(c) => System::restore(c),
+                    None => {
+                        let mut s = System::new(cfg.with_scheme(Scheme::None), cursor(app, size));
+                        if checked {
+                            s.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
+                        }
+                        s.run_until(Cycle::new(spec.warmup));
+                        s
+                    }
+                };
+                sys.reconfigure_scheme(scheme);
+                result = sys.run();
             } else {
-                sys.run()
-            };
+                sys = System::new(cfg, cursor(app, size));
+                if checked {
+                    sys.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
+                }
+                result = if spec.threads > 1 {
+                    sys.run_threads(spec.threads)
+                } else {
+                    sys.run()
+                };
+            }
             let wall_seconds = start.elapsed().as_secs_f64();
             if checked {
                 let oracle = sys
@@ -304,10 +367,47 @@ impl Runner {
                 wall_seconds,
             }
         };
-        let cells = if spec.parallel && jobs.len() > 1 {
-            par_map(jobs, run_cell)
+        let cells = if spec.warmup > 0 {
+            // Warmed grids run cell-serial: checkpoints hold a forked
+            // `CheckSink` (not `Send`), and the point is to build each
+            // shared warm prefix exactly once anyway.
+            let mut checkpoints: HashMap<String, Checkpoint<TraceCursor>> = HashMap::new();
+            let mut out = Vec::with_capacity(jobs.len());
+            for (app_idx, var_idx) in jobs {
+                if !spec.warmup_share {
+                    out.push(run_cell((app_idx, var_idx), None));
+                    continue;
+                }
+                let app = spec.apps[app_idx];
+                let variant = &spec.variants[var_idx];
+                let size = variant.size.unwrap_or(spec.size);
+                let mut cfg = variant.cfg.clone();
+                if spec.instrument {
+                    cfg = cfg.with_instrumentation(true);
+                }
+                let warm_cfg = cfg.with_scheme(Scheme::None);
+                // `SystemConfig` has no `Hash`; its `Debug` form is a
+                // faithful fingerprint of every field.
+                let key = format!("{app_idx}|{size:?}|{warm_cfg:?}");
+                if !checkpoints.contains_key(&key) {
+                    let (geometry, nodes) = (warm_cfg.geometry, warm_cfg.nodes as usize);
+                    let mut sys = System::new(warm_cfg, cursor(app, size));
+                    if checked {
+                        sys.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
+                    }
+                    sys.run_until(Cycle::new(spec.warmup));
+                    let snap = sys
+                        .snapshot()
+                        .expect("warmup sinks (none or the oracle) all fork");
+                    checkpoints.insert(key.clone(), snap);
+                }
+                out.push(run_cell((app_idx, var_idx), checkpoints.get(&key)));
+            }
+            out
+        } else if spec.parallel && jobs.len() > 1 {
+            par_map(jobs, |j| run_cell(j, None))
         } else {
-            jobs.into_iter().map(run_cell).collect()
+            jobs.into_iter().map(|j| run_cell(j, None)).collect()
         };
         let sim_seconds = sim_start.elapsed().as_secs_f64();
 

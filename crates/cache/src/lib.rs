@@ -44,6 +44,6 @@ mod slc;
 pub use buffer::{BufferFull, FifoBuffer};
 pub use direct_mapped::DirectMapped;
 pub use flc::FirstLevelCache;
-pub use mshr::{MshrFile, MshrFull};
+pub use mshr::{MshrFile, MshrFull, MshrTryAlloc};
 pub use set_assoc::SetAssocArray;
 pub use slc::{Eviction, LineState, SecondLevelCache, SlcConfig, SlcLine};

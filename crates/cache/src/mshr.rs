@@ -17,6 +17,18 @@ impl fmt::Display for MshrFull {
 
 impl Error for MshrFull {}
 
+/// Outcome of [`MshrFile::try_alloc`], the fused probe-and-allocate walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrTryAlloc {
+    /// A transaction for the block was already outstanding; nothing was
+    /// allocated (the caller merges or drops).
+    InFlight,
+    /// The file is at capacity; nothing was allocated.
+    Full,
+    /// A fresh entry was allocated.
+    Allocated,
+}
+
 /// The second-level write buffer (SLWB): a bounded file of outstanding SLC
 /// transactions, keyed by block.
 ///
@@ -104,6 +116,24 @@ impl<E> MshrFile<E> {
     /// Whether a transaction for `block` is outstanding.
     pub fn contains(&self, block: BlockAddr) -> bool {
         self.position(block).is_some()
+    }
+
+    /// One fused CAM walk combining [`contains`](Self::contains),
+    /// [`is_full`](Self::is_full) and [`alloc`](Self::alloc): allocates
+    /// an entry for `block` unless one is already in flight or the file
+    /// is full, reporting which. The prefetch-issue filter probes every
+    /// candidate this way, so folding the three checks into one scan
+    /// halves its tag walks.
+    pub fn try_alloc(&mut self, block: BlockAddr, entry: E) -> MshrTryAlloc {
+        if self.position(block).is_some() {
+            return MshrTryAlloc::InFlight;
+        }
+        if self.entries.len() == self.capacity {
+            return MshrTryAlloc::Full;
+        }
+        self.entries.push((block, entry));
+        self.high_water = self.high_water.max(self.entries.len());
+        MshrTryAlloc::Allocated
     }
 
     /// The outstanding transaction for `block`, if any.

@@ -133,6 +133,15 @@ enum Storage {
 #[derive(Debug, Clone)]
 pub struct SecondLevelCache {
     storage: Storage,
+    /// Fused-probe memo: `Some(block)` records that the most recent
+    /// mutating access was a [`write_access`](Self::write_access) hit on
+    /// `block` in [`LineState::Modified`] — and that nothing has touched
+    /// the cache since. Store buffers drain runs of writes to the same
+    /// line back to back, so the next write to `block` can answer
+    /// `(Modified, untagged)` without walking the tag store at all.
+    /// Every other mutating entry point clears the memo, which is what
+    /// makes the shortcut exact rather than heuristic.
+    write_memo: Option<BlockAddr>,
 }
 
 impl SecondLevelCache {
@@ -187,7 +196,10 @@ impl SecondLevelCache {
                 Storage::Assoc(SetAssocArray::new(sets as usize, ways))
             }
         };
-        SecondLevelCache { storage }
+        SecondLevelCache {
+            storage,
+            write_memo: None,
+        }
     }
 
     /// The line holding `block`, if valid.
@@ -202,6 +214,7 @@ impl SecondLevelCache {
     /// Records a demand access to `block` for replacement purposes (LRU
     /// promotion in the set-associative configuration; a no-op otherwise).
     pub fn touch(&mut self, block: BlockAddr) {
+        self.write_memo = None;
         if let Storage::Assoc(sa) = &mut self.storage {
             sa.touch(block);
         }
@@ -213,6 +226,7 @@ impl SecondLevelCache {
     /// Returns `None` on a miss, `Some(was_tagged)` on a hit; a `true`
     /// tag fires the prefetch-phase mechanism exactly once.
     pub fn demand_access(&mut self, block: BlockAddr) -> Option<bool> {
+        self.write_memo = None;
         if let Storage::Assoc(sa) = &mut self.storage {
             sa.touch(block);
         }
@@ -228,11 +242,25 @@ impl SecondLevelCache {
     /// Equivalent to [`Self::lookup`] followed by
     /// [`Self::clear_prefetched`], in a single tag-store probe — the write
     /// path runs once per drained FLWB entry, so the saved probe matters.
+    ///
+    /// Adjacent same-line writes share one walk: a hit on a Modified line
+    /// arms the write memo (see the field docs), and the next write to
+    /// the same block — with no intervening cache activity — answers from
+    /// the memo without probing the tag store. The memo'd answer is exact:
+    /// an absorbed write changes neither the state (still Modified) nor
+    /// the tag (already consumed by the walk that armed the memo).
     pub fn write_access(&mut self, block: BlockAddr) -> Option<(LineState, bool)> {
-        let line = self.line_mut(block)?;
-        let was_tagged = line.prefetched;
-        line.prefetched = false;
-        Some((line.state, was_tagged))
+        if self.write_memo == Some(block) {
+            return Some((LineState::Modified, false));
+        }
+        let (state, was_tagged) = {
+            let line = self.line_mut(block)?;
+            let was_tagged = line.prefetched;
+            line.prefetched = false;
+            (line.state, was_tagged)
+        };
+        self.write_memo = (state == LineState::Modified).then_some(block);
+        Some((state, was_tagged))
     }
 
     /// Whether `block` is present in any valid state.
@@ -247,6 +275,7 @@ impl SecondLevelCache {
     /// (e.g. Shared → Modified on an ownership grant) and returns
     /// [`Eviction::None`].
     pub fn fill(&mut self, block: BlockAddr, state: LineState, prefetched: bool) -> Eviction {
+        self.write_memo = None;
         let line = SlcLine { state, prefetched };
         match &mut self.storage {
             Storage::Infinite(map) => {
@@ -280,6 +309,7 @@ impl SecondLevelCache {
     /// invalidation beat the upgrade reply; the caller must then treat the
     /// grant as a full fill.
     pub fn promote(&mut self, block: BlockAddr) -> bool {
+        self.write_memo = None;
         match self.line_mut(block) {
             Some(line) => {
                 line.state = LineState::Modified;
@@ -293,6 +323,7 @@ impl SecondLevelCache {
     /// set. A `true` return is what fires the prefetch-phase mechanism (and
     /// counts the prefetch as useful).
     pub fn clear_prefetched(&mut self, block: BlockAddr) -> bool {
+        self.write_memo = None;
         match self.line_mut(block) {
             Some(line) if line.prefetched => {
                 line.prefetched = false;
@@ -307,6 +338,7 @@ impl SecondLevelCache {
     /// A dirty line removed by a fetch-invalidate carries its data to the
     /// requester; the caller decides what to do with it.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<SlcLine> {
+        self.write_memo = None;
         match &mut self.storage {
             Storage::Infinite(map) => map.remove(block.as_u64()),
             Storage::Finite(dm) => dm.remove(block),
@@ -317,6 +349,7 @@ impl SecondLevelCache {
     /// Downgrades `block` from Modified to Shared (remote read of a dirty
     /// block). Returns `false` if the block is absent.
     pub fn downgrade(&mut self, block: BlockAddr) -> bool {
+        self.write_memo = None;
         match self.line_mut(block) {
             Some(line) => {
                 line.state = LineState::Shared;

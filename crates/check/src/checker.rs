@@ -47,6 +47,7 @@ pub struct WriteMeta {
 type Bound = FxHashMap<u64, u64>;
 
 /// The checker (see module docs).
+#[derive(Clone)]
 pub struct Checker {
     writes: Vec<WriteMeta>,
     issued_per_cpu: Vec<u64>,

@@ -56,6 +56,7 @@ struct CopyLine {
 }
 
 /// The shadow machine (see module docs).
+#[derive(Clone)]
 pub struct MachineModel {
     geometry: Geometry,
     /// Home memory contents per block.

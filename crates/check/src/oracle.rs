@@ -12,6 +12,7 @@ use std::any::Any;
 /// [`set_check_sink`](System::set_check_sink) and judges every load of
 /// the run; at completion the flat reference memory is compared against
 /// the machine's final state.
+#[derive(Clone)]
 pub struct ConsistencyOracle {
     geometry: Geometry,
     model: MachineModel,
@@ -199,6 +200,10 @@ impl CheckSink for ConsistencyOracle {
             self.model
                 .final_state_violations(&expected, |id| checker.describe(id)),
         );
+    }
+
+    fn fork(&self) -> Option<Box<dyn CheckSink>> {
+        Some(Box::new(self.clone()))
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {

@@ -135,6 +135,17 @@ pub trait CheckSink {
     /// The simulation ran to completion: all traffic quiesced.
     fn run_finished(&mut self) {}
 
+    /// Deep-copies the sink mid-run so a checkpoint can capture observer
+    /// state alongside machine state. A forked sink must continue from
+    /// exactly the hook stream it has seen so far: restoring the snapshot
+    /// and replaying the rest of the run produces the same verdict as a
+    /// straight-through run. Sinks that cannot be duplicated return
+    /// `None` (the default), which makes the whole system snapshot fail
+    /// rather than silently dropping the observer.
+    fn fork(&self) -> Option<Box<dyn CheckSink>> {
+        None
+    }
+
     /// Recovers the concrete sink after [`System::take_check_sink`]
     /// (`crate::System::take_check_sink`) for result extraction.
     // pfsim-lint: allow(C001) -- downcast helper for harness result recovery, not a protocol hook

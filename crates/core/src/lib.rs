@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod checkpoint;
 mod config;
 pub mod experiment;
 mod msg;
@@ -71,9 +72,11 @@ mod sync;
 mod system;
 
 pub use check::CheckSink;
+pub use checkpoint::Checkpoint;
 pub use config::{ConsistencyModel, RecordMisses, SystemConfig, SystemConfigBuilder};
 pub use experiment::Run;
 pub use pfsim_engine::metrics::{HistogramSnapshot, MetricsSnapshot};
+pub use pfsim_engine::Cycle;
 pub use stats::{MissCause, MissRecord, NodeStats, SimResult};
 pub use sync::{BarrierTable, LockTable};
 pub use system::System;

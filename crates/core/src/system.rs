@@ -8,12 +8,12 @@
 //! effects recorded by a worker and replayed in deterministic order by
 //! the leader).
 
-use pfsim_cache::{Eviction, LineState};
+use pfsim_cache::{Eviction, LineState, MshrTryAlloc};
 use pfsim_coherence::{ActionBuf, DirAction, DirRequest, DirStats};
 use pfsim_engine::{CounterId, Cycle, EventQueue, HistogramId, Registry};
 use pfsim_mem::{Addr, BlockAddr, Geometry, NodeId};
 use pfsim_network::Mesh;
-use pfsim_prefetch::{ReadAccess, ReadOutcome};
+use pfsim_prefetch::{ReadAccess, ReadOutcome, Scheme};
 use pfsim_workloads::{Op, Workload};
 
 use crate::check::CheckSink;
@@ -51,12 +51,12 @@ impl Ev {
 /// when instrumentation is off.
 pub(crate) struct Obs {
     pub(crate) reg: Registry,
-    ev_cpu_step: CounterId,
-    ev_slc_work: CounterId,
-    ev_deliver: CounterId,
-    queue_depth: HistogramId,
-    queue_overflow: HistogramId,
-    mshr_occupancy: HistogramId,
+    pub(crate) ev_cpu_step: CounterId,
+    pub(crate) ev_slc_work: CounterId,
+    pub(crate) ev_deliver: CounterId,
+    pub(crate) queue_depth: HistogramId,
+    pub(crate) queue_overflow: HistogramId,
+    pub(crate) mshr_occupancy: HistogramId,
 }
 
 impl Obs {
@@ -884,18 +884,21 @@ impl<W: Workload> Core<'_, W> {
                 node.stats.pf_dropped_present += 1;
                 continue;
             }
-            if node.mshr.contains(block) {
-                node.stats.pf_dropped_inflight += 1;
-                continue;
+            // One fused CAM walk decides in-flight, full, or allocated.
+            match node
+                .mshr
+                .try_alloc(block, MshrEntry::new(TxnKind::Prefetch))
+            {
+                MshrTryAlloc::InFlight => {
+                    node.stats.pf_dropped_inflight += 1;
+                    continue;
+                }
+                MshrTryAlloc::Full => {
+                    node.stats.pf_dropped_full += 1;
+                    continue;
+                }
+                MshrTryAlloc::Allocated => {}
             }
-            if node.mshr.is_full() {
-                node.stats.pf_dropped_full += 1;
-                continue;
-            }
-            node.mshr
-                .alloc(block, MshrEntry::new(TxnKind::Prefetch))
-                // pfsim-lint: allow(K002) -- MSHR checked not-full just above; alloc cannot fail
-                .expect("checked above");
             node.stats.prefetches_issued += 1;
             issued += 1;
             let home = home_of(self.cfg, block);
@@ -1493,6 +1496,10 @@ pub struct System<W: Workload> {
     /// Optional correctness observer (see [`crate::check`]); `None` in
     /// normal runs, so every hook site costs one predictable branch.
     pub(crate) check: Option<Box<dyn CheckSink>>,
+    /// Whether the initial `CpuStep` events have been seeded. Guards the
+    /// seeding so [`run`](Self::run) after [`run_until`](Self::run_until)
+    /// (or after a checkpoint restore) resumes instead of restarting.
+    pub(crate) started: bool,
 }
 
 impl<W: Workload> System<W> {
@@ -1531,6 +1538,7 @@ impl<W: Workload> System<W> {
             last_time: Cycle::ZERO,
             dir_actions: ActionBuf::new(),
             check: None,
+            started: false,
         }
     }
 
@@ -1556,30 +1564,80 @@ impl<W: Workload> System<W> {
     /// Panics if the simulation deadlocks (the event queue drains while a
     /// processor is still blocked), which indicates a protocol bug.
     pub fn run(&mut self) -> SimResult {
+        self.seed();
+        let instrumented = self.obs.reg.enabled();
+        while let Some((t, ev)) = self.queue.pop() {
+            self.dispatch_one(t, ev, instrumented);
+        }
+        self.finish_run(instrumented)
+    }
+
+    /// Runs the event loop only through pclock `boundary`: every event
+    /// with `time <= boundary` is dispatched, then the system pauses with
+    /// all later events still queued. A subsequent [`run`](Self::run)
+    /// resumes from exactly this point and produces results bit-identical
+    /// to an uninterrupted run — the pause falls between event pops,
+    /// which the simulation cannot observe. This is the warmup boundary
+    /// for checkpointing (see [`crate::checkpoint`]).
+    pub fn run_until(&mut self, boundary: Cycle) {
+        self.seed();
+        let instrumented = self.obs.reg.enabled();
+        while self.queue.peek_time().is_some_and(|t| t <= boundary) {
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
+            self.dispatch_one(t, ev, instrumented);
+        }
+    }
+
+    /// Schedules the initial `CpuStep` for every node, exactly once per
+    /// system (restored systems inherit `started` from their snapshot and
+    /// skip this).
+    fn seed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         for n in 0..self.cfg.nodes {
             self.queue.schedule(Cycle::ZERO, Ev::CpuStep(n));
         }
-        let instrumented = self.obs.reg.enabled();
-        while let Some((t, ev)) = self.queue.pop() {
-            self.last_time = self.last_time.max(t);
-            if instrumented {
-                self.observe_event(&ev);
-            }
-            let mut core = Core {
-                cfg: &self.cfg,
-                base: 0,
-                nodes: &mut self.nodes,
-                workload: &mut self.workload,
-                fx: Fx::Live {
-                    queue: &mut self.queue,
-                    mesh: &mut self.mesh,
-                    check: &mut self.check,
-                },
-                dir_actions: &mut self.dir_actions,
-            };
-            core.dispatch(ev, t);
+    }
+
+    /// Dispatches one popped event through the serial kernel: the body of
+    /// the [`run`](Self::run) hot loop, shared with
+    /// [`run_until`](Self::run_until).
+    #[inline(always)]
+    fn dispatch_one(&mut self, t: Cycle, ev: Ev, instrumented: bool) {
+        self.last_time = self.last_time.max(t);
+        if instrumented {
+            self.observe_event(&ev);
         }
-        self.finish_run(instrumented)
+        let mut core = Core {
+            cfg: &self.cfg,
+            base: 0,
+            nodes: &mut self.nodes,
+            workload: &mut self.workload,
+            fx: Fx::Live {
+                queue: &mut self.queue,
+                mesh: &mut self.mesh,
+                check: &mut self.check,
+            },
+            dir_actions: &mut self.dir_actions,
+        };
+        core.dispatch(ev, t);
+    }
+
+    /// Swaps the prefetching scheme on a paused system: the config is
+    /// updated and every node gets a freshly built (state-empty)
+    /// prefetcher. This is how a warmed checkpoint taken under
+    /// [`Scheme::None`] becomes one cell of a scheme ablation — the
+    /// machine state (caches, directory, in-flight traffic) carries over,
+    /// the scheme starts detecting from the boundary onward.
+    pub fn reconfigure_scheme(&mut self, scheme: Scheme) {
+        self.cfg.scheme = scheme;
+        for node in &mut self.nodes {
+            node.prefetcher = scheme.build(self.cfg.geometry);
+        }
     }
 
     /// Runs the workload to completion on `threads` worker threads using

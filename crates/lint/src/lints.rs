@@ -45,6 +45,10 @@ pub const LINTS: &[Lint] = &[
         summary: "no panic!/unwrap/expect on the event hot path outside debug_assert guards",
     },
     Lint {
+        id: "K003",
+        summary: "snapshot modules destructure exhaustively: no `..` rest patterns or Default::default()",
+    },
+    Lint {
         id: "M001",
         summary: "each metrics name literal is registered exactly once, with one kind",
     },
@@ -194,6 +198,7 @@ fn file_lints(f: &File, out: &mut Vec<Finding>) {
     if is_hot_path(f) {
         k002_hot_panics(f, out);
     }
+    k003_exhaustive_snapshots(f, out);
 }
 
 fn finding(f: &File, id: &'static str, line: u32, message: String) -> Finding {
@@ -401,6 +406,57 @@ fn debug_assert_mask(f: &File) -> Vec<bool> {
         }
     }
     mask
+}
+
+// ---------------------------------------------------------------------
+// K003: non-exhaustive state capture in snapshot modules
+// ---------------------------------------------------------------------
+
+/// The modules that copy machine state into/out of checkpoints. Their
+/// whole correctness argument is "the compiler errors when a field is
+/// added but not captured", so both escape hatches — `..` rest patterns
+/// and `Default::default()` — are banned outright: each one lets a new
+/// field silently miss the snapshot and break restore bit-identity.
+const SNAPSHOT_MODULES: &[&str] = &["crates/core/src/checkpoint.rs"];
+
+fn k003_exhaustive_snapshots(f: &File, out: &mut Vec<Finding>) {
+    if !SNAPSHOT_MODULES.contains(&f.path.as_str()) {
+        return;
+    }
+    for (i, tok) in f.tokens.iter().enumerate() {
+        if f.in_test(tok.line) {
+            continue;
+        }
+        // A rest pattern is `..` directly before the closing delimiter
+        // (a range expression always has an operand or `=` there).
+        let rest_pattern = tok.kind == Kind::Punct
+            && f.t(i) == ".."
+            && (f.is_punct(i + 1, "}") || f.is_punct(i + 1, ")"));
+        if rest_pattern {
+            out.push(finding(
+                f,
+                "K003",
+                tok.line,
+                "`..` rest pattern in a snapshot module: destructure every field so a \
+                 newly added one cannot silently escape the checkpoint"
+                    .to_string(),
+            ));
+        }
+        let default_call = tok.kind == Kind::Ident
+            && f.t(i) == "Default"
+            && f.is_punct(i + 1, "::")
+            && f.is_ident(i + 2, "default");
+        if default_call {
+            out.push(finding(
+                f,
+                "K003",
+                tok.line,
+                "`Default::default()` in a snapshot module: copy the live value \
+                 explicitly so restored state cannot silently reset"
+                    .to_string(),
+            ));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,15 @@
+//@ path: crates/core/src/checkpoint.rs
+//@ expect: K003 6
+//@ expect: K003 9
+//@ expect: K003 13
+pub fn fork_node(node: &Node) -> Node {
+    let Node { flc, slc, .. } = node;
+    Node {
+        flc: flc.clone(),
+        stats: Default::default(),
+        slc: slc.clone(),
+    }
+}
+pub fn fork_pair((a, ..): &(u64, u64, u64)) -> u64 {
+    *a
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/checkpoint.rs
+pub fn fork_node(node: &Node) -> Node {
+    let Node { flc, slc, stats } = node;
+    Node {
+        flc: flc.clone(),
+        slc: slc.clone(),
+        stats: stats.clone(),
+    }
+}
+pub fn warm_range(n: usize) -> usize {
+    (0..n).sum()
+}

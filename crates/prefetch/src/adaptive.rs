@@ -148,6 +148,10 @@ impl Prefetcher for AdaptiveSequential {
         self.useful = 0;
         self.dormant_misses = 0;
     }
+
+    fn clone_box(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

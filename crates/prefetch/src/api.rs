@@ -108,6 +108,18 @@ pub trait Prefetcher: Send {
 
     /// Forgets all detection state (used between measurement phases).
     fn reset(&mut self);
+
+    /// Deep-copies the scheme, detection tables and all, behind a fresh
+    /// box. Checkpointing uses this to capture prefetcher state: a
+    /// restored machine must replay bit-identically, so the copy carries
+    /// every stream table, stride entry, and adaptation counter.
+    fn clone_box(&self) -> Box<dyn Prefetcher>;
+}
+
+impl Clone for Box<dyn Prefetcher> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The baseline: no prefetching at all.
@@ -137,6 +149,10 @@ impl Prefetcher for NoPrefetch {
     }
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Prefetcher> {
+        Box::new(*self)
+    }
 }
 
 /// Configuration enum selecting one of the studied schemes.

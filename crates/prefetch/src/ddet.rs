@@ -295,6 +295,10 @@ impl Prefetcher for DDetection {
         self.streams_installed = 0;
         self.strides_promoted = 0;
     }
+
+    fn clone_box(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

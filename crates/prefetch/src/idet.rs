@@ -260,6 +260,10 @@ impl Prefetcher for IDetection {
         self.hits = 0;
         self.allocs = 0;
     }
+
+    fn clone_box(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -106,6 +106,10 @@ impl Prefetcher for SequentialPrefetcher {
         self.continuations = 0;
         self.restarts = 0;
     }
+
+    fn clone_box(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

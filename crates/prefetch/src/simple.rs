@@ -115,6 +115,10 @@ impl Prefetcher for SimpleStride {
     fn reset(&mut self) {
         self.table.iter_mut().for_each(|e| *e = None);
     }
+
+    fn clone_box(&self) -> Box<dyn Prefetcher> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -263,10 +263,27 @@ impl MetricsSnapshot {
             &other.histograms,
             &mut out,
             |name, a, b| match (a, b) {
-                (Some(a), Some(b)) => format!(
-                    "histogram {name}: count {} vs {}, sum {} vs {}, max {} vs {}",
-                    a.count, b.count, a.sum, b.sum, a.max, b.max
-                ),
+                (Some(a), Some(b)) => {
+                    let mut line = format!(
+                        "histogram {name}: count {} vs {}, sum {} vs {}, max {} vs {}",
+                        a.count, b.count, a.sum, b.sum, a.max, b.max
+                    );
+                    // The summary triple can agree while the distribution
+                    // does not (same count/sum/max, different samples), so
+                    // name every diverging bucket too — otherwise the diff
+                    // line prints six equal numbers for a real mismatch.
+                    let buckets = a.buckets.len().max(b.buckets.len());
+                    for i in 0..buckets {
+                        let (va, vb) = (
+                            a.buckets.get(i).copied().unwrap_or(0),
+                            b.buckets.get(i).copied().unwrap_or(0),
+                        );
+                        if va != vb {
+                            line.push_str(&format!(", bucket[{i}] {va} vs {vb}"));
+                        }
+                    }
+                    line
+                }
                 _ => format!(
                     "histogram {name}: present {} vs {}",
                     a.is_some(),
@@ -371,6 +388,33 @@ mod tests {
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].contains("histogram depth"), "{d:?}");
         assert!(d[0].contains("count 1 vs 2"), "{d:?}");
+        // 9 has bit width 4, present only on b's side.
+        assert!(d[0].contains("bucket[4] 0 vs 1"), "{d:?}");
+    }
+
+    /// Two sample sets can agree on count, sum, and max while landing in
+    /// different buckets ({4,5,6} vs {3,6,6}); the diff line must name the
+    /// buckets or it reads as six equal numbers.
+    #[test]
+    fn diff_names_diverging_buckets_when_summary_agrees() {
+        let observe_all = |vs: &[u64]| {
+            let mut r = Registry::new(true);
+            let h = r.histogram("depth");
+            for &v in vs {
+                r.observe(h, v);
+            }
+            r.snapshot()
+        };
+        let a = observe_all(&[4, 5, 6]);
+        let b = observe_all(&[3, 6, 6]);
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].contains("count 3 vs 3, sum 15 vs 15, max 6 vs 6"),
+            "{d:?}"
+        );
+        assert!(d[0].contains("bucket[2] 0 vs 1"), "{d:?}");
+        assert!(d[0].contains("bucket[3] 3 vs 2"), "{d:?}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The deterministic event queue at the heart of the simulator.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use crate::Cycle;
 
@@ -13,6 +13,9 @@ const BUCKETS: usize = 1024;
 const MASK: u64 = BUCKETS as u64 - 1;
 /// Words of the occupancy bitmap (one bit per bucket).
 const WORDS: usize = BUCKETS / 64;
+/// Null link in the slot arena (terminates bucket chains and the free
+/// list).
+const NIL: u32 = u32::MAX;
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
 ///
@@ -26,10 +29,21 @@ const WORDS: usize = BUCKETS / 64;
 ///
 /// A calendar queue: a wheel of [`BUCKETS`] one-cycle buckets covers the
 /// near future `[cursor, cursor + BUCKETS)`, so `schedule` and `pop` are
-/// O(1) appends/pops on a `VecDeque` for the common case instead of
-/// O(log n) heap operations. Two small binary heaps (ordered by
-/// `(time, seq)`) catch the uncommon cases: events scheduled in the past
-/// ("overdue") and events beyond the wheel horizon ("overflow").
+/// O(1) for the common case instead of O(log n) heap operations. Two
+/// small binary heaps (ordered by `(time, seq)`) catch the uncommon
+/// cases: events scheduled in the past ("overdue") and events beyond the
+/// wheel horizon ("overflow").
+///
+/// Wheel storage is a slot arena in struct-of-arrays layout: one `Vec`
+/// of event payloads and one parallel `Vec` of `u32` links, with each
+/// bucket holding an index-linked FIFO chain (`head`/`tail` per bucket)
+/// and freed slots recycled through an intrusive free list. Compared to
+/// a `VecDeque` per bucket this keeps all pending events in two dense
+/// allocations that are reused for the whole run — no per-bucket buffers
+/// to grow, shrink, or walk — and the cursor advance is branchless (the
+/// unconditional `cursor += advance` costs nothing when the next bucket
+/// is the current one). The occupancy bitmap (one bit per bucket) lets
+/// `pop` and `peek_time` skip runs of empty buckets a word at a time.
 ///
 /// Determinism argument: a bucket only ever holds events for a single
 /// cycle, so its FIFO order *is* sequence order provided insertions happen
@@ -55,12 +69,23 @@ const WORDS: usize = BUCKETS / 64;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    /// `wheel[t & MASK]` holds the events for cycle `t`, oldest first, for
-    /// `t` in `[cursor, cursor + BUCKETS)`.
-    wheel: Vec<VecDeque<E>>,
+    /// Arena payload slots; `None` marks a slot parked on the free list.
+    events: Vec<Option<E>>,
+    /// Parallel link array: the next slot of the same bucket's FIFO chain
+    /// while the payload is live, the next free slot while it is not.
+    /// [`NIL`] terminates both kinds of chain.
+    links: Vec<u32>,
+    /// Head of the free-slot list ([`NIL`] when every slot is live).
+    free: u32,
+    /// `head[t & MASK]` indexes the oldest pending event for cycle `t`,
+    /// for `t` in `[cursor, cursor + BUCKETS)`; [`NIL`] when the bucket
+    /// is empty.
+    head: [u32; BUCKETS],
+    /// Newest slot of each bucket chain (appends are O(1)).
+    tail: [u32; BUCKETS],
     /// One bit per bucket: set iff the bucket is non-empty. Lets `pop` and
     /// `peek_time` jump over runs of empty buckets a word at a time instead
-    /// of probing each `VecDeque`.
+    /// of probing each chain head.
     occupied: [u64; WORDS],
     /// Total events in the wheel.
     wheel_len: usize,
@@ -106,7 +131,11 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            wheel: (0..BUCKETS).map(|_| VecDeque::new()).collect(),
+            events: Vec::new(),
+            links: Vec::new(),
+            free: NIL,
+            head: [NIL; BUCKETS],
+            tail: [NIL; BUCKETS],
             occupied: [0; WORDS],
             wheel_len: 0,
             cursor: 0,
@@ -114,6 +143,55 @@ impl<E> EventQueue<E> {
             overflow: BinaryHeap::new(),
             next_seq: 0,
         }
+    }
+
+    /// Appends `event` to bucket `i`'s FIFO chain, recycling a free slot
+    /// when one exists and growing the arena otherwise.
+    #[inline]
+    fn bucket_push(&mut self, i: usize, event: E) {
+        let idx = if self.free == NIL {
+            let idx = self.events.len() as u32;
+            self.events.push(Some(event));
+            self.links.push(NIL);
+            idx
+        } else {
+            let idx = self.free;
+            self.free = self.links[idx as usize];
+            self.events[idx as usize] = Some(event);
+            self.links[idx as usize] = NIL;
+            idx
+        };
+        let t = self.tail[i];
+        if t == NIL {
+            self.head[i] = idx;
+        } else {
+            self.links[t as usize] = idx;
+        }
+        self.tail[i] = idx;
+        self.occupied[i >> 6] |= 1 << (i & 63);
+        self.wheel_len += 1;
+    }
+
+    /// Detaches and returns the oldest event of bucket `i`, parking its
+    /// slot on the free list (and clearing the occupancy bit when the
+    /// chain empties).
+    #[inline]
+    fn bucket_pop(&mut self, i: usize) -> Option<E> {
+        let idx = self.head[i];
+        if idx == NIL {
+            return None;
+        }
+        let slot = idx as usize;
+        self.head[i] = self.links[slot];
+        if self.head[i] == NIL {
+            self.tail[i] = NIL;
+            self.occupied[i >> 6] &= !(1 << (i & 63));
+        }
+        let event = self.events[slot].take();
+        self.links[slot] = self.free;
+        self.free = idx;
+        self.wheel_len -= 1;
+        event
     }
 
     /// Schedules `event` for delivery at time `at`.
@@ -128,10 +206,7 @@ impl<E> EventQueue<E> {
         if t < self.cursor {
             self.overdue.push(Entry { at, seq, event });
         } else if t - self.cursor < BUCKETS as u64 {
-            let i = (t & MASK) as usize;
-            self.wheel[i].push_back(event);
-            self.occupied[i >> 6] |= 1 << (i & 63);
-            self.wheel_len += 1;
+            self.bucket_push((t & MASK) as usize, event);
         } else {
             self.overflow.push(Entry { at, seq, event });
         }
@@ -166,10 +241,7 @@ impl<E> EventQueue<E> {
             }
             // pfsim-lint: allow(K002) -- peek returned Some on this very iteration
             let e = self.overflow.pop().expect("peeked");
-            let i = (e.at.as_u64() & MASK) as usize;
-            self.wheel[i].push_back(e.event);
-            self.occupied[i >> 6] |= 1 << (i & 63);
-            self.wheel_len += 1;
+            self.bucket_push((e.at.as_u64() & MASK) as usize, e.event);
         }
     }
 
@@ -192,22 +264,20 @@ impl<E> EventQueue<E> {
         // after the advance (before any later `schedule` could append to
         // them out of order) preserves same-cycle FIFO. No overflow event
         // can precede the found bucket: all of overflow is at or beyond the
-        // pre-advance horizon, which is beyond every wheel event.
+        // pre-advance horizon, which is beyond every wheel event. The
+        // advance itself is unconditional (adding zero is free); only the
+        // overflow drain keeps a guard, and on heap emptiness rather than
+        // on the advance, since an empty heap has nothing to drain no
+        // matter how far the cursor moved.
         let from = (self.cursor & MASK) as usize;
         // pfsim-lint: allow(K002) -- wheel_len > 0 guarantees an occupied bucket exists
         let i = self.next_occupied(from).expect("wheel_len > 0");
-        let advance = (i.wrapping_sub(from) & (BUCKETS - 1)) as u64;
-        if advance > 0 {
-            self.cursor += advance;
+        self.cursor += (i.wrapping_sub(from) & (BUCKETS - 1)) as u64;
+        if !self.overflow.is_empty() {
             self.drain_overflow();
         }
-        let bucket = &mut self.wheel[i];
         // pfsim-lint: allow(K002) -- occupancy bitmap says this bucket is non-empty
-        let event = bucket.pop_front().expect("occupied bit set");
-        if bucket.is_empty() {
-            self.occupied[i >> 6] &= !(1 << (i & 63));
-        }
-        self.wheel_len -= 1;
+        let event = self.bucket_pop(i).expect("occupied bit set");
         Some((Cycle::new(self.cursor), event))
     }
 

@@ -55,6 +55,13 @@ cargo test -q -p pfsim-check --release --offline --test litmus
 echo "==> pfsim-fuzz --smoke (200 seeded random traces, oracle on)"
 ./target/release/pfsim-fuzz --smoke
 
+echo "==> warmup-checkpoint determinism gate (snapshot/restore bit-identity)"
+# Round-trip equals straight-through — pclock total, per-node stats,
+# metrics snapshot, oracle hook stream — across the scheme matrix, plus
+# the restore-under-check litmus cell. PFSIM_CHECK=1 makes the spec-level
+# test fork a live oracle through every shared checkpoint.
+PFSIM_CHECK=1 cargo test -q -p pfsim-bench --release --offline --test checkpoint
+
 echo "==> sharded-kernel determinism gate (full matrix, 1/2/4-thread rotation)"
 # Serial vs sharded bit-identity over the whole scheme x app matrix,
 # metrics registry included, plus an oracle-on sharded cell (the

@@ -9,13 +9,14 @@
 //! Usage: `cargo run -p pfsim-bench --bin ablation_adaptive --release`
 
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, ExperimentSpec, Size};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{metrics_of, ExperimentSpec};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
     let run = ExperimentSpec::new("ablation_adaptive")
-        .size(Size::from_args())
+        .size(Args::parse("ablation_adaptive", SIZE_FLAGS).size)
         .apps(App::ALL)
         .baseline_and(&[
             Scheme::Sequential { degree: 1 },

@@ -11,7 +11,8 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, ExperimentSpec, Size};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{metrics_of, ExperimentSpec};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -25,7 +26,7 @@ fn main() {
 
     // Per app: 3 block sizes × (baseline + 2 schemes) = 9 cells.
     let mut spec = ExperimentSpec::new("ablation_block")
-        .size(Size::from_args())
+        .size(Args::parse("ablation_block", SIZE_FLAGS).size)
         .apps([App::Water, App::Ocean, App::Mp3d]);
     for bs in blocks {
         for scheme in schemes {

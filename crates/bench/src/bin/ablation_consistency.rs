@@ -10,7 +10,8 @@
 
 use pfsim::{ConsistencyModel, SystemConfig};
 use pfsim_analysis::TextTable;
-use pfsim_bench::{metrics_of, ExperimentSpec, Size};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{metrics_of, ExperimentSpec};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -22,7 +23,7 @@ fn main() {
             .build()
     };
     let run = ExperimentSpec::new("ablation_consistency")
-        .size(Size::from_args())
+        .size(Args::parse("ablation_consistency", SIZE_FLAGS).size)
         .apps(App::ALL)
         .variant("RC", variant(ConsistencyModel::Release, Scheme::None))
         .variant("SC", variant(ConsistencyModel::Sequential, Scheme::None))

@@ -10,7 +10,8 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, ExperimentSpec, Size};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{metrics_of, ExperimentSpec};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -20,7 +21,7 @@ fn main() {
     // Per app: 1 baseline + 8 scheme runs, all independent — the runner
     // fans the whole 27-cell grid out across cores.
     let mut spec = ExperimentSpec::new("ablation_degree")
-        .size(Size::from_args())
+        .size(Args::parse("ablation_degree", SIZE_FLAGS).size)
         .apps([App::Lu, App::Ocean, App::Mp3d])
         .variant("baseline", SystemConfig::paper_baseline());
     for d in degrees {

@@ -9,7 +9,8 @@
 
 use pfsim::SystemConfig;
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, ExperimentSpec, Size};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{metrics_of, ExperimentSpec};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
@@ -28,7 +29,7 @@ fn main() {
 
     // Per app: 4 capacities × (baseline + 2 schemes) = 12 cells.
     let mut spec = ExperimentSpec::new("ablation_slc")
-        .size(Size::from_args())
+        .size(Args::parse("ablation_slc", SIZE_FLAGS).size)
         .apps(App::ALL);
     for (bytes, label) in capacities {
         for scheme in schemes {

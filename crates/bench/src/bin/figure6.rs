@@ -13,13 +13,14 @@
 //! Usage: `cargo run -p pfsim-bench --bin figure6 --release [-- --paper]`
 
 use pfsim_analysis::{compare, TextTable};
-use pfsim_bench::{metrics_of, ExperimentSpec, Size};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{metrics_of, ExperimentSpec};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
 
 fn main() {
     let run = ExperimentSpec::new("figure6")
-        .size(Size::from_args())
+        .size(Args::parse("figure6", SIZE_FLAGS).size)
         .apps(App::ALL)
         .baseline_and(&[
             Scheme::IDetection { degree: 1 },

@@ -21,7 +21,7 @@
 //! Usage:
 //! `cargo run -p pfsim-bench --bin perfsmoke --release -- [--label NAME]
 //! [--grid NAME] [--threads N] [--large] [--checkpoint] [--trend]
-//! [--check]`
+//! [--check] [--spec PATH]`
 //!
 //! * `--label NAME` records the run in the grid's throughput ledger
 //!   (conventional labels: `seed`, `optimized`, `ci`, `shards2`).
@@ -39,6 +39,9 @@
 //!   recorded in BENCH_PR7.json.
 //! * `--trend` prints the pclocks/sec trajectory of every `BENCH_*.json`
 //!   ledger and exits without simulating anything.
+//! * `--spec PATH` runs the wire-format `ExperimentSpec` (schema v2 JSON,
+//!   the same document `pfsim-client submit` sends) instead of the
+//!   built-in grid, writes its manifest, and skips the ledgers.
 //! * `--check` exits nonzero unless this run's total pclocks match the
 //!   ledger's recorded `seed` total (replay determinism — for a grid
 //!   whose ledger has no seed entry yet, the comparison is skipped with
@@ -48,9 +51,10 @@
 //!   and records the thread count.
 
 use pfsim::{System, SystemConfig};
-use pfsim_bench::ledger::{
-    pclocks_of, rate_of, read_entries, seed_check, update_ledger, MissingSeedNotice, SeedCheck,
-};
+use pfsim_analysis::Json;
+use pfsim_bench::cli::{Args, PERFSMOKE_FLAGS};
+use pfsim_bench::ledger::{update_ledger, Ledger, MissingSeedNotice, SeedCheck};
+use pfsim_bench::spec::wire::WireSpec;
 use pfsim_bench::{validate_manifest, ExperimentRun, ExperimentSpec, Size};
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::App;
@@ -71,42 +75,43 @@ fn repo_file(name: &str) -> String {
 }
 
 fn main() {
-    let label = arg_value("--label");
-    let grid_label = arg_value("--grid");
-    let check = std::env::args().any(|a| a == "--check");
-    let large = std::env::args().any(|a| a == "--large");
-    let threads: usize = arg_value("--threads")
-        .map(|v| v.parse().expect("--threads takes a number"))
-        .unwrap_or(1);
+    let args = Args::parse("perfsmoke", PERFSMOKE_FLAGS);
 
-    if std::env::args().any(|a| a == "--trend") {
+    if args.trend {
         print_trend();
         return;
     }
-    if std::env::args().any(|a| a == "--checkpoint") {
-        run_checkpoint_bench(check);
+    if let Some(path) = &args.spec {
+        run_wire_spec(path, args.check);
+        return;
+    }
+    if args.checkpoint {
+        run_checkpoint_bench(args.check);
         return;
     }
 
     // The throughput ledger is per grid: the default-size anchor lives
-    // in BENCH_PR1.json, the large grid's trend in BENCH_PR6.json.
-    let ledger_path = repo_file(if large {
-        "BENCH_PR6.json"
-    } else {
-        "BENCH_PR1.json"
+    // in BENCH_PR1.json, the large grid's trend in BENCH_PR6.json (the
+    // paper-size grid has no ledger yet; its seed check reads Missing
+    // and is tolerated with the once-per-process notice).
+    let ledger_path = repo_file(match args.size {
+        Size::Default => "BENCH_PR1.json",
+        Size::Large => "BENCH_PR6.json",
+        Size::Paper => "BENCH_PAPER.json",
     });
+    let threads = args.threads;
 
     warm_allocator();
 
     // The 24-cell grid: cell-serial (stable single-threaded timing, any
     // parallelism is inside the sharded kernel) and quiet (the point is
     // the totals, not 24 progress lines).
-    let run = ExperimentSpec::new(if large {
-        "perfsmoke-large"
-    } else {
-        "perfsmoke"
+    let run = ExperimentSpec::new(match args.size {
+        Size::Default => "perfsmoke",
+        Size::Paper => "perfsmoke-paper",
+        Size::Large => "perfsmoke-large",
     })
-    .size(if large { Size::Large } else { Size::Default })
+    .size(args.size)
     .apps(App::ALL)
     .baseline_and(&[
         Scheme::IDetection { degree: 1 },
@@ -144,16 +149,16 @@ fn main() {
     println!("simulation: {pclocks} pclocks in {sim_seconds:.2}s (threads={threads})");
     println!(
         "perfsmoke [{}]: {pclocks} pclocks in {seconds:.2}s = {rate:.0} pclocks/sec (gen {gen_seconds:.2}s + sim {sim_seconds:.2}s)",
-        label.as_deref().unwrap_or("unrecorded")
+        args.label.as_deref().unwrap_or("unrecorded")
     );
 
-    if let Some(label) = &label {
-        let entries = update_ledger(
+    if let Some(label) = &args.label {
+        let ledger = update_ledger(
             &ledger_path,
             label,
-            &format!("{{\"pclocks\": {pclocks}, \"seconds\": {seconds:.3}, \"threads\": {threads}, \"pclocks_per_sec\": {rate:.0}}}"),
+            ledger_entry(pclocks, seconds, Some(threads), rate, &[]),
         );
-        if let (Some(seed), Some(now)) = (rate_of(&entries, "seed"), rate_of(&entries, label)) {
+        if let (Some(seed), Some(now)) = (ledger.rate_of("seed"), ledger.rate_of(label)) {
             if label != "seed" {
                 println!("speedup vs seed: {:.2}x", now / seed);
             }
@@ -161,13 +166,21 @@ fn main() {
         println!("ledger: {ledger_path}");
     }
 
-    if let Some(label) = &grid_label {
+    if let Some(label) = &args.grid {
         let path = repo_file("BENCH_PR2.json");
         update_ledger(
             &path,
             label,
-            &format!(
-                "{{\"pclocks\": {pclocks}, \"seconds\": {seconds:.3}, \"gen_seconds\": {gen_seconds:.3}, \"sim_seconds\": {sim_seconds:.3}, \"bytes_per_op\": {bytes_per_op:.2}, \"pclocks_per_sec\": {rate:.0}}}"
+            ledger_entry(
+                pclocks,
+                seconds,
+                None,
+                rate,
+                &[
+                    ("gen_seconds", Json::Float(round3(gen_seconds))),
+                    ("sim_seconds", Json::Float(round3(sim_seconds))),
+                    ("bytes_per_op", Json::Float(round2(bytes_per_op))),
+                ],
             ),
         );
         println!("grid ledger: {path}");
@@ -176,7 +189,7 @@ fn main() {
     let manifest = run.write_manifest().expect("write run manifest");
     eprintln!("manifest: {}", manifest.display());
 
-    if check {
+    if args.check {
         let mut notice = MissingSeedNotice::default();
         check_seed_or_exit(&ledger_path, pclocks, &mut notice);
         if bytes_per_op > BYTES_PER_OP_BUDGET {
@@ -185,32 +198,64 @@ fn main() {
             );
             std::process::exit(1);
         }
-        let summary = match validate_manifest(&manifest) {
-            Ok(s) => s,
+        let parsed = match validate_manifest(&manifest) {
+            Ok(m) => m,
             Err(e) => {
                 eprintln!("check FAILED: manifest {}: {e}", manifest.display());
                 std::process::exit(1);
             }
         };
-        if summary.total_pclocks != pclocks {
+        if parsed.total_pclocks != pclocks {
             eprintln!(
                 "check FAILED: manifest records {} pclocks but this run simulated {pclocks}",
-                summary.total_pclocks
+                parsed.total_pclocks
             );
             std::process::exit(1);
         }
-        if summary.threads != threads.max(1) as u64 {
+        if parsed.threads != threads.max(1) as u64 {
             eprintln!(
                 "check FAILED: manifest records threads={} but this run used --threads {threads}",
-                summary.threads
+                parsed.threads
             );
             std::process::exit(1);
         }
         println!(
             "check OK: {pclocks} pclocks, manifest validates ({} cells, threads={}), {bytes_per_op:.2} bytes/op <= {BYTES_PER_OP_BUDGET}",
-            summary.cells, summary.threads
+            parsed.cells.len(),
+            parsed.threads
         );
     }
+}
+
+/// A run entry for the throughput ledgers, plus any grid-specific extras
+/// (inserted before the rate so the key order matches the ledger files).
+fn ledger_entry(
+    pclocks: u64,
+    seconds: f64,
+    threads: Option<usize>,
+    rate: f64,
+    extras: &[(&str, Json)],
+) -> Json {
+    let mut members = vec![
+        ("pclocks", Json::uint(pclocks)),
+        ("seconds", Json::Float(round3(seconds))),
+    ];
+    if let Some(t) = threads {
+        members.push(("threads", Json::uint(t as u64)));
+    }
+    for (k, v) in extras {
+        members.push((k, v.clone()));
+    }
+    members.push(("pclocks_per_sec", Json::uint(rate.round() as u64)));
+    Json::obj(members)
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
 }
 
 /// One small untimed run to warm the allocator and code caches.
@@ -226,7 +271,7 @@ fn warm_allocator() {
 /// exits the process on a mismatch, tolerates a missing seed with a
 /// once-per-process notice, and prints the match otherwise.
 fn check_seed_or_exit(path: &str, pclocks: u64, notice: &mut MissingSeedNotice) {
-    match seed_check(&read_entries(path), pclocks) {
+    match Ledger::read(path).seed_check(pclocks) {
         SeedCheck::Missing => {
             if let Some(line) = notice.tolerate(path) {
                 println!("{line}");
@@ -241,6 +286,40 @@ fn check_seed_or_exit(path: &str, pclocks: u64, notice: &mut MissingSeedNotice) 
         SeedCheck::Match(expected) => {
             println!("check: pclock total matches the seed entry of {path} ({expected})");
         }
+    }
+}
+
+/// `--spec PATH`: runs a wire-format spec — the offline twin of a
+/// `pfsim-serve` submission, sharing the same parse/validate layer.
+fn run_wire_spec(path: &str, check: bool) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    let wire = WireSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    let run = wire.to_experiment_spec().serial().run();
+    let pclocks = run.total_pclocks();
+    println!(
+        "spec {}: {} cells, {pclocks} pclocks in {:.2}s",
+        wire.name,
+        run.cells.len(),
+        run.gen_seconds + run.sim_seconds
+    );
+    let manifest = run.write_manifest().expect("write run manifest");
+    println!("manifest: {}", manifest.display());
+    if check {
+        let parsed = validate_manifest(&manifest).unwrap_or_else(|e| {
+            eprintln!("check FAILED: manifest {}: {e}", manifest.display());
+            std::process::exit(1);
+        });
+        assert_eq!(parsed.total_pclocks, pclocks);
+        println!(
+            "check OK: manifest validates ({} cells)",
+            parsed.cells.len()
+        );
     }
 }
 
@@ -288,7 +367,7 @@ fn run_checkpoint_bench(check: bool) {
         update_ledger(
             &pr7,
             label,
-            &format!("{{\"pclocks\": {pclocks}, \"seconds\": {seconds:.3}, \"threads\": 1, \"pclocks_per_sec\": {rate:.0}}}"),
+            ledger_entry(pclocks, seconds, Some(1), rate, &[]),
         );
         rate
     };
@@ -360,16 +439,11 @@ fn print_trend() {
         .collect();
     ledgers.sort();
     for name in ledgers {
-        let entries = read_entries(&format!("{root}{name}"));
+        let ledger = Ledger::read(&format!("{root}{name}"));
         println!("{name}");
-        let seed = rate_of(&entries, "seed");
-        for line in &entries {
-            let label = match line.trim_start().trim_start_matches('"').split('"').next() {
-                Some(l) if l != "_note" => l.to_string(),
-                _ => continue,
-            };
-            let (Some(rate), Some(pclocks)) =
-                (rate_of(&entries, &label), pclocks_of(&entries, &label))
+        let seed = ledger.rate_of("seed");
+        for label in ledger.labels() {
+            let (Some(rate), Some(pclocks)) = (ledger.rate_of(label), ledger.pclocks_of(label))
             else {
                 continue;
             };
@@ -380,12 +454,4 @@ fn print_trend() {
             println!("  {label:<22} {rate:>12.0} pclocks/sec  ({pclocks} pclocks){vs_seed}");
         }
     }
-}
-
-fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
 }

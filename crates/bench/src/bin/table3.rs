@@ -10,12 +10,13 @@
 
 use pfsim::{MissCause, RecordMisses, SystemConfig};
 use pfsim_analysis::{characterize, TextTable};
-use pfsim_bench::{miss_event_iter, ExperimentSpec, Size, RECORDED_CPU};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{miss_event_iter, ExperimentSpec, RECORDED_CPU};
 use pfsim_workloads::App;
 
 fn main() {
     let run = ExperimentSpec::new("table3")
-        .size(Size::from_args())
+        .size(Args::parse("table3", SIZE_FLAGS).size)
         .apps(App::ALL)
         .variant(
             "record-16K",

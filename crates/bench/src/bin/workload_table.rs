@@ -7,11 +7,12 @@
 //! Usage: `cargo run -p pfsim-bench --bin workload_table --release [-- --paper]`
 
 use pfsim_analysis::TextTable;
-use pfsim_bench::{shared_trace, ExperimentSpec, Size};
+use pfsim_bench::cli::{Args, SIZE_FLAGS};
+use pfsim_bench::{shared_trace, ExperimentSpec};
 use pfsim_workloads::{packed_stats, App};
 
 fn main() {
-    let size = Size::from_args();
+    let size = Args::parse("workload_table", SIZE_FLAGS).size;
     // A trace-only experiment: no variants means no simulations — the
     // runner just generates (and describes) every app's trace.
     let run = ExperimentSpec::new("workload_table")

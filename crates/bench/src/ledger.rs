@@ -1,61 +1,115 @@
 //! Throughput-ledger parsing, updates, and seed comparison.
 //!
 //! The repo-root `BENCH_*.json` files are this project's performance
-//! ledgers: one JSON object per grid, one label-keyed line per recorded
-//! run, plus free-form annotation lines (`"_note"`). `perfsmoke` reads
+//! ledgers: one JSON object per grid, one label-keyed entry per recorded
+//! run, plus free-form annotation entries (`"_note"`). `perfsmoke` reads
 //! and rewrites them through this module; keeping the logic here (rather
 //! than in the binary) makes the seed-comparison policy unit-testable —
 //! the `--check` gate's tolerance for a missing seed entry is part of the
 //! repo's CI contract, not a printf detail.
+//!
+//! Entries are parsed with [`pfsim_analysis::Json`] — the same typed
+//! layer the manifests use — not scanned as strings, so a ledger that
+//! stops being valid JSON fails loudly instead of silently reading as
+//! empty.
 
-/// The label-keyed lines of the ledger at `path` (annotation and `{`/`}`
-/// framing lines stripped, trailing commas removed). A missing or empty
-/// file yields no entries.
-pub fn read_entries(path: &str) -> Vec<String> {
-    std::fs::read_to_string(path)
-        .unwrap_or_default()
-        .lines()
-        .filter(|l| l.trim_start().starts_with('"'))
-        .map(|l| l.trim_end_matches(',').to_string())
-        .collect()
+use pfsim_analysis::Json;
+
+/// One grid's throughput ledger: label-keyed entries in file order,
+/// annotations (`"_note"`) included.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    /// The entries, in file order. Run entries map labels to leaf
+    /// objects; annotation entries map `"_note"` to a string.
+    pub entries: Vec<(String, Json)>,
 }
 
-/// Records `label: value` in the ledger at `path`, replacing any existing
-/// line for `label` and preserving every other line (annotations like
-/// `"_note"` included). Returns the resulting entries.
-pub fn update_ledger(path: &str, label: &str, value: &str) -> Vec<String> {
-    let mut entries: Vec<String> = read_entries(path)
-        .into_iter()
-        .filter(|l| !l.trim_start().starts_with(&format!("\"{label}\"")))
-        .collect();
-    entries.push(format!("  \"{label}\": {value}"));
-    let body = entries.join(",\n");
-    std::fs::write(path, format!("{{\n{body}\n}}\n")).expect("write perf ledger");
-    entries
+impl Ledger {
+    /// Reads the ledger at `path`. A missing or empty file is an empty
+    /// ledger; a present-but-malformed file panics (a corrupt ledger must
+    /// never read as "new grid" and slip past the seed check).
+    pub fn read(path: &str) -> Ledger {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        if text.trim().is_empty() {
+            return Ledger::default();
+        }
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let Json::Object(entries) = doc else {
+            panic!("{path}: ledger is not a JSON object");
+        };
+        Ledger { entries }
+    }
+
+    /// Records `value` under `label`, replacing any existing entry for
+    /// `label` in place (preserving file order) and appending otherwise.
+    pub fn set(&mut self, label: &str, value: Json) {
+        match self.entries.iter_mut().find(|(k, _)| k == label) {
+            Some((_, slot)) => *slot = value,
+            None => self.entries.push((label.to_string(), value)),
+        }
+    }
+
+    /// Writes the ledger to `path` (the `Json` renderer's layout: one
+    /// line per leaf entry, the format the files already use).
+    pub fn write(&self, path: &str) {
+        let doc = Json::Object(self.entries.clone());
+        std::fs::write(path, doc.render()).expect("write perf ledger");
+    }
+
+    /// The run labels, in file order, annotations excluded.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.entries
+            .iter()
+            .filter(|(k, v)| k != "_note" && v.as_object().is_some())
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// The numeric field `key` of the entry labelled `label`, if present.
+    pub fn field_of(&self, label: &str, key: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == label)?
+            .1
+            .get(key)?
+            .as_f64()
+    }
+
+    /// The `pclocks_per_sec` field of `label`'s entry.
+    pub fn rate_of(&self, label: &str) -> Option<f64> {
+        self.field_of(label, "pclocks_per_sec")
+    }
+
+    /// The `pclocks` field of `label`'s entry (exact: read as `u64`, not
+    /// through a float).
+    pub fn pclocks_of(&self, label: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == label)?
+            .1
+            .get("pclocks")?
+            .as_u64()
+    }
+
+    /// Compares `pclocks` against this ledger's seed entry.
+    pub fn seed_check(&self, pclocks: u64) -> SeedCheck {
+        match self.pclocks_of("seed") {
+            None => SeedCheck::Missing,
+            Some(expected) if expected == pclocks => SeedCheck::Match(expected),
+            Some(expected) => SeedCheck::Mismatch {
+                expected,
+                got: pclocks,
+            },
+        }
+    }
 }
 
-/// The numeric field `key` of the entry labelled `label`, if present.
-pub fn field_of(entries: &[String], label: &str, key: &str) -> Option<f64> {
-    let line = entries
-        .iter()
-        .find(|l| l.trim_start().starts_with(&format!("\"{label}\"")))?;
-    let key = format!("\"{key}\": ");
-    let at = line.find(&key)? + key.len();
-    let rest = &line[at..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(rest.len());
-    rest[..end].parse::<f64>().ok()
-}
-
-/// The `pclocks_per_sec` field of `label`'s entry.
-pub fn rate_of(entries: &[String], label: &str) -> Option<f64> {
-    field_of(entries, label, "pclocks_per_sec")
-}
-
-/// The `pclocks` field of `label`'s entry.
-pub fn pclocks_of(entries: &[String], label: &str) -> Option<u64> {
-    field_of(entries, label, "pclocks").map(|v| v as u64)
+/// Reads the ledger at `path`, records `label: value`, writes it back,
+/// and returns the result (the one-call form `perfsmoke` uses).
+pub fn update_ledger(path: &str, label: &str, value: Json) -> Ledger {
+    let mut ledger = Ledger::read(path);
+    ledger.set(label, value);
+    ledger.write(path);
+    ledger
 }
 
 /// Verdict of comparing a run's pclock total against the ledger's seed
@@ -76,18 +130,6 @@ pub enum SeedCheck {
         /// What this run simulated.
         got: u64,
     },
-}
-
-/// Compares `pclocks` against the seed entry in `entries`.
-pub fn seed_check(entries: &[String], pclocks: u64) -> SeedCheck {
-    match pclocks_of(entries, "seed") {
-        None => SeedCheck::Missing,
-        Some(expected) if expected == pclocks => SeedCheck::Match(expected),
-        Some(expected) => SeedCheck::Mismatch {
-            expected,
-            got: pclocks,
-        },
-    }
 }
 
 /// Once-per-process guard for tolerating [`SeedCheck::Missing`].
@@ -121,28 +163,37 @@ impl MissingSeedNotice {
 mod tests {
     use super::*;
 
-    fn entries() -> Vec<String> {
-        vec![
-            "  \"seed\": {\"pclocks\": 151368054, \"seconds\": 59.266, \"pclocks_per_sec\": 2554036}".to_string(),
-            "  \"optimized\": {\"pclocks\": 151368054, \"seconds\": 40.0, \"pclocks_per_sec\": 3784201}".to_string(),
-        ]
+    fn run_entry(pclocks: u64, seconds: f64, rate: u64) -> Json {
+        Json::obj(vec![
+            ("pclocks", Json::uint(pclocks)),
+            ("seconds", Json::Float(seconds)),
+            ("pclocks_per_sec", Json::uint(rate)),
+        ])
+    }
+
+    fn ledger() -> Ledger {
+        Ledger {
+            entries: vec![
+                ("seed".to_string(), run_entry(151368054, 59.266, 2554036)),
+                ("_note".to_string(), Json::str("annotation, not a run")),
+                ("optimized".to_string(), run_entry(151368054, 40.0, 3784201)),
+            ],
+        }
     }
 
     #[test]
     fn fields_parse_by_label_and_key() {
-        let e = entries();
-        assert_eq!(pclocks_of(&e, "seed"), Some(151368054));
-        assert_eq!(rate_of(&e, "optimized"), Some(3784201.0));
-        assert_eq!(field_of(&e, "seed", "seconds"), Some(59.266));
-        assert_eq!(pclocks_of(&e, "absent"), None);
+        let l = ledger();
+        assert_eq!(l.pclocks_of("seed"), Some(151368054));
+        assert_eq!(l.rate_of("optimized"), Some(3784201.0));
+        assert_eq!(l.field_of("seed", "seconds"), Some(59.266));
+        assert_eq!(l.pclocks_of("absent"), None);
+        assert_eq!(l.labels().collect::<Vec<_>>(), ["seed", "optimized"]);
     }
 
     #[test]
     fn matching_seed_passes() {
-        assert_eq!(
-            seed_check(&entries(), 151368054),
-            SeedCheck::Match(151368054)
-        );
+        assert_eq!(ledger().seed_check(151368054), SeedCheck::Match(151368054));
     }
 
     /// The mismatch path: a diverging total is a determinism regression
@@ -150,7 +201,7 @@ mod tests {
     #[test]
     fn diverging_seed_is_a_mismatch() {
         assert_eq!(
-            seed_check(&entries(), 151368055),
+            ledger().seed_check(151368055),
             SeedCheck::Mismatch {
                 expected: 151368054,
                 got: 151368055,
@@ -163,7 +214,7 @@ mod tests {
     /// names the ledger it tolerated.
     #[test]
     fn missing_seed_is_tolerated_with_one_named_warning() {
-        assert_eq!(seed_check(&[], 42), SeedCheck::Missing);
+        assert_eq!(Ledger::default().seed_check(42), SeedCheck::Missing);
 
         let mut notice = MissingSeedNotice::default();
         let first = notice
@@ -174,6 +225,8 @@ mod tests {
         assert!(notice.tolerate("BENCH_PR9.json").is_none(), "warned twice");
     }
 
+    /// Updates replace in place (file order stays stable), annotations
+    /// survive, and `pclocks` totals past 2^53 round-trip exactly.
     #[test]
     fn update_replaces_label_and_keeps_others() {
         let path = format!(
@@ -181,13 +234,50 @@ mod tests {
             std::env::temp_dir().display(),
             std::process::id()
         );
-        update_ledger(&path, "seed", "{\"pclocks\": 10, \"pclocks_per_sec\": 5}");
-        update_ledger(&path, "run", "{\"pclocks\": 10, \"pclocks_per_sec\": 7}");
-        let e = update_ledger(&path, "run", "{\"pclocks\": 10, \"pclocks_per_sec\": 9}");
-        assert_eq!(pclocks_of(&e, "seed"), Some(10));
-        assert_eq!(rate_of(&e, "run"), Some(9.0));
-        let reread = read_entries(&path);
-        assert_eq!(reread.len(), 2, "{reread:?}");
         std::fs::remove_file(&path).ok();
+        update_ledger(&path, "seed", run_entry(9_007_199_254_740_993, 1.0, 5));
+        update_ledger(&path, "_note", Json::str("kept"));
+        update_ledger(&path, "run", run_entry(10, 1.5, 7));
+        let l = update_ledger(&path, "run", run_entry(10, 1.25, 9));
+        assert_eq!(l.pclocks_of("seed"), Some(9_007_199_254_740_993));
+        assert_eq!(l.rate_of("run"), Some(9.0));
+        let reread = Ledger::read(&path);
+        assert_eq!(reread, l);
+        assert_eq!(reread.labels().collect::<Vec<_>>(), ["seed", "run"]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The on-disk layout matches the hand-maintained BENCH files: one
+    /// line per run entry.
+    #[test]
+    fn written_ledger_keeps_one_line_per_entry() {
+        let path = format!(
+            "{}/ledger_fmt_{}.json",
+            std::env::temp_dir().display(),
+            std::process::id()
+        );
+        std::fs::remove_file(&path).ok();
+        update_ledger(&path, "seed", run_entry(14059066, 4.355, 3228127));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains(
+                "\"seed\": {\"pclocks\": 14059066, \"seconds\": 4.355, \"pclocks_per_sec\": 3228127}"
+            ),
+            "{text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A corrupt ledger must fail loudly, not read as a fresh grid.
+    #[test]
+    #[should_panic(expected = "ledger")]
+    fn corrupt_ledger_panics() {
+        let path = format!(
+            "{}/ledger_corrupt_{}.json",
+            std::env::temp_dir().display(),
+            std::process::id()
+        );
+        std::fs::write(&path, "[1, 2]").unwrap();
+        Ledger::read(&path);
     }
 }

@@ -11,12 +11,13 @@ use pfsim::{MissRecord, SimResult};
 use pfsim_analysis::{MissEvent, RunMetrics};
 use pfsim_workloads::{App, PackedTrace, TraceCursor, TraceWorkload};
 
+pub mod cli;
 pub mod ledger;
 pub mod manifest;
 mod parallel;
 pub mod spec;
 
-pub use manifest::{validate_manifest, ManifestSummary};
+pub use manifest::{validate_manifest, Manifest};
 pub use parallel::par_map;
 pub use spec::{CellResult, ExperimentRun, ExperimentSpec, Runner, TraceInfo, Variant};
 
@@ -43,46 +44,15 @@ impl std::fmt::Display for Size {
 }
 
 impl Size {
-    /// Parses the binary's command line: `--paper` / `--large` /
-    /// `--size=<default|paper|large>` select the problem size (no flag
-    /// means [`Size::Default`]). Unknown flags are an error — exits with
-    /// a usage message rather than silently running the wrong
-    /// experiment.
-    pub fn from_args() -> Size {
-        match Size::parse_args(std::env::args().skip(1)) {
-            Ok(size) => size,
-            Err(e) => {
-                eprintln!("error: {e}");
-                eprintln!("usage: [--paper | --large | --size=<default|paper|large>]");
-                std::process::exit(2);
-            }
+    /// Parses a manifest/wire size name (the [`Display`](std::fmt::Display)
+    /// form) back into a [`Size`].
+    pub fn parse(name: &str) -> Result<Size, String> {
+        match name {
+            "default" => Ok(Size::Default),
+            "paper" => Ok(Size::Paper),
+            "large" => Ok(Size::Large),
+            other => Err(format!("unknown size '{other}'")),
         }
-    }
-
-    /// Pure form of [`Size::from_args`] for testing: parses an argument
-    /// list (without the program name).
-    pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Size, String> {
-        let mut chosen: Option<Size> = None;
-        for arg in args {
-            let picked = match arg.as_str() {
-                "--paper" => Size::Paper,
-                "--large" => Size::Large,
-                _ => match arg.strip_prefix("--size=") {
-                    Some("default") => Size::Default,
-                    Some("paper") => Size::Paper,
-                    Some("large") => Size::Large,
-                    Some(other) => return Err(format!("unknown size '{other}'")),
-                    None => return Err(format!("unrecognized argument '{arg}'")),
-                },
-            };
-            match chosen {
-                Some(prev) if prev != picked => {
-                    return Err(format!("conflicting sizes: {prev} and {picked}"))
-                }
-                _ => chosen = Some(picked),
-            }
-        }
-        Ok(chosen.unwrap_or_default())
     }
 
     /// Builds `app` at this size as a materialized trace.
@@ -165,61 +135,15 @@ mod tests {
     use pfsim::{RecordMisses, System, SystemConfig};
     use pfsim_workloads::App;
 
-    fn parse(args: &[&str]) -> Result<Size, String> {
-        Size::parse_args(args.iter().map(|s| s.to_string()))
-    }
-
+    /// Size names round-trip through their `Display` form (the spelling
+    /// manifests and wire specs use).
     #[test]
-    fn size_args_parse_every_spelling() {
-        assert_eq!(parse(&[]), Ok(Size::Default));
-        assert_eq!(parse(&["--paper"]), Ok(Size::Paper));
-        assert_eq!(parse(&["--large"]), Ok(Size::Large));
-        assert_eq!(parse(&["--size=default"]), Ok(Size::Default));
-        assert_eq!(parse(&["--size=paper"]), Ok(Size::Paper));
-        assert_eq!(parse(&["--size=large"]), Ok(Size::Large));
-        // Repeating the same size is harmless.
-        assert_eq!(parse(&["--paper", "--size=paper"]), Ok(Size::Paper));
-    }
-
-    #[test]
-    fn size_args_reject_conflicts_and_unknowns() {
-        assert!(parse(&["--paper", "--large"]).is_err());
-        assert!(parse(&["--size=huge"]).is_err());
-        assert!(parse(&["--verbose"]).is_err());
-        assert!(parse(&["paper"]).is_err());
-    }
-
-    /// The rejection paths name the offending token, so the usage
-    /// message the binaries print is actionable.
-    #[test]
-    fn size_arg_errors_name_the_offender() {
-        let err = parse(&["--size=huge"]).unwrap_err();
-        assert!(err.contains("huge"), "{err}");
-        let err = parse(&["--turbo"]).unwrap_err();
-        assert!(err.contains("--turbo"), "{err}");
-        let err = parse(&["--paper", "--size=large"]).unwrap_err();
-        assert!(err.contains("paper") && err.contains("large"), "{err}");
-    }
-
-    /// Near-miss spellings are rejected, not fuzzy-matched: sizes are
-    /// case-sensitive, `--size=` needs a value, and flag-like prefixes
-    /// of valid flags don't parse.
-    #[test]
-    fn size_args_reject_near_misses() {
-        assert!(parse(&["--size="]).is_err());
-        assert!(parse(&["--size=Paper"]).is_err());
-        assert!(parse(&["--size=LARGE"]).is_err());
-        assert!(parse(&["--Paper"]).is_err());
-        assert!(parse(&["--paper=yes"]).is_err());
-        assert!(parse(&["--siz=paper"]).is_err());
-        assert!(parse(&[""]).is_err());
-        // Conflicts are caught across spellings, in either order.
-        assert!(parse(&["--size=large", "--paper"]).is_err());
-        assert!(parse(&["--size=default", "--size=paper"]).is_err());
-        // An error anywhere poisons the whole parse even if a valid flag
-        // follows.
-        assert!(parse(&["--bogus", "--paper"]).is_err());
-        assert!(parse(&["--paper", "--bogus"]).is_err());
+    fn size_names_round_trip() {
+        for size in [Size::Default, Size::Paper, Size::Large] {
+            assert_eq!(Size::parse(&size.to_string()), Ok(size));
+        }
+        assert!(Size::parse("huge").is_err());
+        assert!(Size::parse("Paper").is_err());
     }
 
     #[test]

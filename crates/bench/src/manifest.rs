@@ -21,42 +21,65 @@ pub const MANIFEST_SCHEMA_VERSION: i64 = 1;
 
 /// Builds the manifest document for a completed run.
 pub(crate) fn manifest_json(run: &ExperimentRun, analyze_seconds: f64) -> Json {
+    assemble_manifest(
+        &run.name,
+        &run.size.to_string(),
+        run.threads,
+        (run.gen_seconds, run.sim_seconds, analyze_seconds),
+        run.total_pclocks(),
+        run.apps.iter().map(|a| a.name().to_string()).collect(),
+        run.variants.iter().map(variant_json).collect(),
+        run.traces.iter().map(trace_json).collect(),
+        run.cells.iter().map(cell_json).collect(),
+    )
+}
+
+/// Assembles a manifest document from pre-rendered parts.
+///
+/// This is the one place the manifest's top-level layout is defined:
+/// [`ExperimentRun::write_manifest`](crate::ExperimentRun::write_manifest)
+/// feeds it a freshly-simulated run, and `pfsim-serve` feeds it a mix of
+/// cached and fresh cell documents — both produce the same byte layout.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_manifest(
+    name: &str,
+    size: &str,
+    threads: usize,
+    (gen_seconds, sim_seconds, analyze_seconds): (f64, f64, f64),
+    total_pclocks: u64,
+    apps: Vec<String>,
+    variants: Vec<Json>,
+    traces: Vec<Json>,
+    cells: Vec<Json>,
+) -> Json {
     Json::obj(vec![
         ("schema_version", Json::Int(MANIFEST_SCHEMA_VERSION)),
-        ("name", Json::str(&run.name)),
-        ("size", Json::str(run.size.to_string())),
-        ("threads", Json::uint(run.threads as u64)),
+        ("name", Json::str(name)),
+        ("size", Json::str(size)),
+        ("threads", Json::uint(threads as u64)),
         ("git", Json::str(git_describe())),
         ("unix_time", Json::uint(unix_time())),
         (
             "phases",
             Json::obj(vec![
-                ("gen_seconds", Json::Float(run.gen_seconds)),
-                ("sim_seconds", Json::Float(run.sim_seconds)),
+                ("gen_seconds", Json::Float(gen_seconds)),
+                ("sim_seconds", Json::Float(sim_seconds)),
                 ("analyze_seconds", Json::Float(analyze_seconds)),
             ]),
         ),
-        ("total_pclocks", Json::uint(run.total_pclocks())),
+        ("total_pclocks", Json::uint(total_pclocks)),
         (
             "apps",
-            Json::Array(run.apps.iter().map(|a| Json::str(a.name())).collect()),
+            Json::Array(apps.into_iter().map(Json::Str).collect()),
         ),
-        (
-            "variants",
-            Json::Array(run.variants.iter().map(variant_json).collect()),
-        ),
-        (
-            "traces",
-            Json::Array(run.traces.iter().map(trace_json).collect()),
-        ),
-        (
-            "cells",
-            Json::Array(run.cells.iter().map(cell_json).collect()),
-        ),
+        ("variants", Json::Array(variants)),
+        ("traces", Json::Array(traces)),
+        ("cells", Json::Array(cells)),
     ])
 }
 
-fn variant_json(v: &Variant) -> Json {
+/// The manifest encoding of one grid column (label, scheme, config).
+pub fn variant_json(v: &Variant) -> Json {
     Json::obj(vec![
         ("label", Json::str(&v.label)),
         ("scheme", Json::str(v.cfg.scheme.to_string())),
@@ -95,7 +118,8 @@ fn config_json(cfg: &SystemConfig) -> Json {
     ])
 }
 
-fn trace_json(t: &TraceInfo) -> Json {
+/// The manifest encoding of one generated trace's shape.
+pub fn trace_json(t: &TraceInfo) -> Json {
     Json::obj(vec![
         ("app", Json::str(t.app.name())),
         ("size", Json::str(t.size.to_string())),
@@ -105,7 +129,9 @@ fn trace_json(t: &TraceInfo) -> Json {
     ])
 }
 
-fn cell_json(c: &CellResult) -> Json {
+/// The manifest encoding of one simulated cell (the unit `pfsim-serve`
+/// caches).
+pub fn cell_json(c: &CellResult) -> Json {
     let r = &c.result;
     Json::obj(vec![
         ("app", Json::str(c.app.name())),
@@ -188,7 +214,9 @@ fn node_json(n: &NodeStats) -> Json {
     ])
 }
 
-fn metrics_json(m: &MetricsSnapshot) -> Json {
+/// The JSON encoding of a metrics registry snapshot (used in manifest
+/// cells and by `pfsim-serve`'s `/status` endpoint).
+pub fn metrics_json(m: &MetricsSnapshot) -> Json {
     Json::obj(vec![
         (
             "counters",
@@ -245,18 +273,78 @@ fn unix_time() -> u64 {
         .unwrap_or(0)
 }
 
-/// What [`validate_manifest`] learned about a well-formed manifest.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ManifestSummary {
+/// A validated run manifest, read back into its typed shape.
+///
+/// Reading is symmetric with writing: every field [`manifest_json`]
+/// emits that downstream consumers care about comes back as a typed
+/// accessor, so the server cache, `perfsmoke --check`, and the trend
+/// report all share one walk of the document instead of each re-deriving
+/// field paths by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
     /// The experiment name.
     pub name: String,
-    /// Number of simulated cells.
-    pub cells: usize,
-    /// Sum of simulated execution time over all cells, in pclocks.
-    pub total_pclocks: u64,
+    /// Problem-size name (the [`crate::Size`] display form; kept as text
+    /// because old manifests are free to name sizes this build dropped).
+    pub size: String,
+    /// The `git describe` stamp of the producing build.
+    pub git: String,
     /// Worker threads each cell's event kernel ran on (1 = serial
     /// kernel; older manifests without the field read as 1).
     pub threads: u64,
+    /// Sum of simulated execution time over all cells, in pclocks.
+    pub total_pclocks: u64,
+    /// Per-phase wall-clock: generation, simulation, analysis seconds.
+    pub phase_seconds: (f64, f64, f64),
+    /// Declared application names, in grid order.
+    pub apps: Vec<String>,
+    /// Declared grid columns, in grid order.
+    pub variants: Vec<ManifestVariant>,
+    /// Per-cell records, in emission order.
+    pub cells: Vec<ManifestCell>,
+}
+
+/// One declared grid column of a parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestVariant {
+    /// The column label.
+    pub label: String,
+    /// The scheme's display form (e.g. `"Seq(d=1)"`).
+    pub scheme: String,
+}
+
+/// One simulated cell of a parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestCell {
+    /// The application name (always one of the declared apps).
+    pub app: String,
+    /// Index into the declared variants (always in range).
+    pub variant: usize,
+    /// Simulated execution time of this cell, in pclocks.
+    pub exec_cycles: u64,
+}
+
+impl Manifest {
+    /// Parses and validates manifest text (see [`validate_manifest`] for
+    /// the checked invariants). This is the entry point for callers
+    /// holding bytes rather than a file — `pfsim-client` validates the
+    /// manifest a server streamed back without touching disk.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let doc = Json::parse(text)?;
+        Manifest::from_json(&doc)
+    }
+
+    /// Validates an already-parsed manifest document.
+    pub fn from_json(doc: &Json) -> Result<Manifest, String> {
+        validate_doc(doc)
+    }
+
+    /// The cell for `(app, variant)`, if the grid simulated it.
+    pub fn cell(&self, app: &str, variant: usize) -> Option<&ManifestCell> {
+        self.cells
+            .iter()
+            .find(|c| c.app == app && c.variant == variant)
+    }
 }
 
 /// Parses and validates the manifest at `path`.
@@ -265,12 +353,14 @@ pub struct ManifestSummary {
 /// field, and the internal invariants: the cell grid is consistent with
 /// the declared apps and variants, per-cell node statistics are present
 /// and sum to the recorded aggregates, and `total_pclocks` equals the
-/// sum of cell execution times.
-pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
+/// sum of cell execution times. Returns the typed [`Manifest`].
+pub fn validate_manifest(path: &Path) -> Result<Manifest, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Manifest::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
 
-    let version = field(&doc, "schema_version")?
+fn validate_doc(doc: &Json) -> Result<Manifest, String> {
+    let version = field(doc, "schema_version")?
         .as_i64()
         .ok_or("schema_version is not an integer")?;
     if version != MANIFEST_SCHEMA_VERSION {
@@ -278,21 +368,29 @@ pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
             "schema_version {version} (expected {MANIFEST_SCHEMA_VERSION})"
         ));
     }
-    let name = field(&doc, "name")?
+    let name = field(doc, "name")?
         .as_str()
         .ok_or("name is not a string")?
         .to_string();
-    field(&doc, "git")?.as_str().ok_or("git is not a string")?;
-    field(&doc, "size")?
+    let git = field(doc, "git")?
         .as_str()
-        .ok_or("size is not a string")?;
-    let phases = field(&doc, "phases")?;
-    for key in ["gen_seconds", "sim_seconds", "analyze_seconds"] {
-        field(phases, key)?
+        .ok_or("git is not a string")?
+        .to_string();
+    let size = field(doc, "size")?
+        .as_str()
+        .ok_or("size is not a string")?
+        .to_string();
+    let phases = field(doc, "phases")?;
+    let mut phase_seconds = [0.0f64; 3];
+    for (slot, key) in ["gen_seconds", "sim_seconds", "analyze_seconds"]
+        .into_iter()
+        .enumerate()
+    {
+        phase_seconds[slot] = field(phases, key)?
             .as_f64()
             .ok_or_else(|| format!("phases.{key} is not a number"))?;
     }
-    let total_pclocks = field(&doc, "total_pclocks")?
+    let total_pclocks = field(doc, "total_pclocks")?
         .as_u64()
         .ok_or("total_pclocks is not a u64")?;
     // Pre-sharding manifests (same schema version) lack the field; they
@@ -302,26 +400,36 @@ pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
         None => 1,
     };
 
-    let apps: Vec<&str> = field(&doc, "apps")?
+    let apps: Vec<String> = field(doc, "apps")?
         .as_array()
         .ok_or("apps is not an array")?
         .iter()
-        .map(|a| a.as_str().ok_or("apps entry is not a string"))
+        .map(|a| {
+            a.as_str()
+                .map(str::to_string)
+                .ok_or("apps entry is not a string")
+        })
         .collect::<Result<_, _>>()?;
-    let variants = field(&doc, "variants")?
+    let variant_docs = field(doc, "variants")?
         .as_array()
         .ok_or("variants is not an array")?;
-    for (i, v) in variants.iter().enumerate() {
-        for key in ["label", "scheme"] {
-            field(v, key)?
-                .as_str()
-                .ok_or_else(|| format!("variants[{i}].{key} is not a string"))?;
-        }
+    let mut variants = Vec::with_capacity(variant_docs.len());
+    for (i, v) in variant_docs.iter().enumerate() {
+        let mut strings = ["label", "scheme"].into_iter().map(|key| {
+            Ok::<String, String>(
+                field(v, key)?
+                    .as_str()
+                    .ok_or_else(|| format!("variants[{i}].{key} is not a string"))?
+                    .to_string(),
+            )
+        });
+        let (label, scheme) = (strings.next().unwrap()?, strings.next().unwrap()?);
         field(v, "config")?
             .as_object()
             .ok_or_else(|| format!("variants[{i}].config is not an object"))?;
+        variants.push(ManifestVariant { label, scheme });
     }
-    for (i, t) in field(&doc, "traces")?
+    for (i, t) in field(doc, "traces")?
         .as_array()
         .ok_or("traces is not an array")?
         .iter()
@@ -334,15 +442,16 @@ pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
         }
     }
 
-    let cells = field(&doc, "cells")?
+    let cell_docs = field(doc, "cells")?
         .as_array()
         .ok_or("cells is not an array")?;
+    let mut cells = Vec::with_capacity(cell_docs.len());
     let mut cycle_sum: u64 = 0;
-    for (i, cell) in cells.iter().enumerate() {
+    for (i, cell) in cell_docs.iter().enumerate() {
         let app = field(cell, "app")?
             .as_str()
             .ok_or_else(|| format!("cells[{i}].app is not a string"))?;
-        if !apps.contains(&app) {
+        if !apps.iter().any(|a| a == app) {
             return Err(format!("cells[{i}].app '{app}' not in declared apps"));
         }
         let variant = field(cell, "variant")?
@@ -358,6 +467,11 @@ pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
             .as_u64()
             .ok_or_else(|| format!("cells[{i}].exec_cycles is not a u64"))?;
         cycle_sum += exec;
+        cells.push(ManifestCell {
+            app: app.to_string(),
+            variant: variant as usize,
+            exec_cycles: exec,
+        });
         let nodes = field(cell, "nodes")?
             .as_array()
             .ok_or_else(|| format!("cells[{i}].nodes is not an array"))?;
@@ -389,11 +503,16 @@ pub fn validate_manifest(path: &Path) -> Result<ManifestSummary, String> {
         ));
     }
 
-    Ok(ManifestSummary {
+    Ok(Manifest {
         name,
-        cells: cells.len(),
-        total_pclocks,
+        size,
+        git,
         threads,
+        total_pclocks,
+        phase_seconds: (phase_seconds[0], phase_seconds[1], phase_seconds[2]),
+        apps,
+        variants,
+        cells,
     })
 }
 
@@ -450,7 +569,7 @@ mod tests {
     }
 
     /// Writes `text` to a fresh temp file and validates it.
-    fn check(case: &str, text: &str) -> Result<ManifestSummary, String> {
+    fn check(case: &str, text: &str) -> Result<Manifest, String> {
         let dir = std::env::temp_dir().join("pfsim-manifest-cases");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("{case}.json"));
@@ -459,12 +578,29 @@ mod tests {
     }
 
     #[test]
-    fn minimal_manifest_validates() {
-        let summary = check("minimal", &minimal_manifest()).unwrap();
-        assert_eq!(summary.name, "unit");
-        assert_eq!(summary.cells, 2);
-        assert_eq!(summary.total_pclocks, 300);
-        assert_eq!(summary.threads, 2);
+    fn minimal_manifest_validates_into_typed_form() {
+        let m = check("minimal", &minimal_manifest()).unwrap();
+        assert_eq!(m.name, "unit");
+        assert_eq!(m.size, "default");
+        assert_eq!(m.git, "deadbeef");
+        assert_eq!(m.total_pclocks, 300);
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.phase_seconds, (0.1, 0.2, 0.0));
+        assert_eq!(m.apps, ["mp3d"]);
+        assert_eq!(
+            m.variants,
+            [ManifestVariant {
+                label: "base".to_string(),
+                scheme: "None".to_string(),
+            }]
+        );
+        assert_eq!(m.cells.len(), 2);
+        assert_eq!(m.cells[0].exec_cycles, 100);
+        assert_eq!(m.cell("mp3d", 0), Some(&m.cells[0]));
+        assert_eq!(m.cell("water", 0), None);
+        // Bytes-in-hand parsing (what `pfsim-client` does with a streamed
+        // manifest) agrees with the file path.
+        assert_eq!(Manifest::parse(&minimal_manifest()).unwrap(), m);
     }
 
     /// `threads` round-trips when present and defaults to 1 (the serial

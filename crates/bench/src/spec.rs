@@ -7,12 +7,13 @@
 //! A binary reduces to: declare the spec, run it, render its tables.
 //!
 //! ```no_run
-//! use pfsim_bench::{ExperimentSpec, Size};
+//! use pfsim_bench::cli::{Args, SIZE_FLAGS};
+//! use pfsim_bench::ExperimentSpec;
 //! use pfsim_prefetch::Scheme;
 //! use pfsim_workloads::App;
 //!
 //! let run = ExperimentSpec::new("figure6")
-//!     .size(Size::from_args())
+//!     .size(Args::parse("figure6", SIZE_FLAGS).size)
 //!     .apps(App::ALL)
 //!     .baseline_and(&[Scheme::Sequential { degree: 1 }])
 //!     .run();
@@ -21,6 +22,8 @@
 //! }
 //! run.write_manifest().unwrap();
 //! ```
+
+pub mod wire;
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};

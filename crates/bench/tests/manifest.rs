@@ -34,10 +34,17 @@ fn temp_dir(name: &str) -> std::path::PathBuf {
 fn manifest_snapshot_has_schema_and_pclocks() {
     let run = Runner::with_out_dir(temp_dir("manifest")).execute(small_spec("snapshot", true));
     let path = run.write_manifest().unwrap();
-    let summary = validate_manifest(&path).expect("manifest validates");
-    assert_eq!(summary.name, "snapshot");
-    assert_eq!(summary.cells, 2);
-    assert_eq!(summary.total_pclocks, run.total_pclocks());
+    let manifest = validate_manifest(&path).expect("manifest validates");
+    assert_eq!(manifest.name, "snapshot");
+    assert_eq!(manifest.cells.len(), 2);
+    assert_eq!(manifest.total_pclocks, run.total_pclocks());
+    assert_eq!(manifest.size, "default");
+    assert_eq!(manifest.apps, ["MP3D"]);
+    assert_eq!(manifest.variants.len(), 2);
+    assert_eq!(manifest.variants[0].label, "baseline");
+    assert_eq!(manifest.variants[1].scheme, "Seq(d=1)");
+    let cell = manifest.cell("MP3D", 1).expect("Seq cell present");
+    assert_eq!(cell.exec_cycles, run.cell(0, 1).result.exec_cycles);
 
     let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
     for key in [

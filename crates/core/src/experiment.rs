@@ -91,26 +91,6 @@ impl<W: Workload> Run<W> {
     }
 }
 
-/// Runs `workload` on the paper baseline extended with `scheme`.
-#[deprecated(note = "use `Run::new(workload).scheme(scheme).execute()`")]
-pub fn run_scheme(workload: impl Workload, scheme: Scheme) -> SimResult {
-    System::new(SystemConfig::paper_baseline().with_scheme(scheme), workload).run()
-}
-
-/// Runs `workload` under an arbitrary configuration.
-#[deprecated(note = "use `Run::new(workload).config(cfg).execute()`")]
-pub fn run_config(workload: impl Workload, cfg: SystemConfig) -> SimResult {
-    System::new(cfg, workload).run()
-}
-
-/// Runs the §5.1 characterization configuration: the baseline machine
-/// (no prefetching) with the miss stream of processor `cpu` recorded.
-#[deprecated(note = "use `Run::new(workload).record_misses(cpu).execute()`")]
-pub fn run_baseline_recording(workload: impl Workload, cpu: usize) -> SimResult {
-    let cfg = SystemConfig::paper_baseline().with_recording(RecordMisses::Cpu(cpu));
-    System::new(cfg, workload).run()
-}
-
 /// The comparison of Figure 6: baseline, I-detection, D-detection and
 /// sequential prefetching at degree 1, on the same workload.
 pub fn figure6_schemes() -> [Scheme; 4] {

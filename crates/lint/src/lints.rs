@@ -58,7 +58,7 @@ pub const LINTS: &[Lint] = &[
     },
     Lint {
         id: "T001",
-        summary: "threads and sync primitives only in approved concurrency modules (bench/parallel, bench/lib, core/shard)",
+        summary: "threads and sync primitives only in approved concurrency modules (bench/parallel, bench/lib, core/shard, serve/src)",
     },
     Lint {
         id: "U001",
@@ -307,6 +307,13 @@ const CONCURRENCY_MODULES: &[&str] = &[
     "crates/core/src/shard.rs",
 ];
 
+/// Directory prefixes whose non-test sources are concurrent by design.
+/// The experiment service is a worker pool wrapped around the (still
+/// single-threaded) simulator, so every module under it may hold sync
+/// primitives; the trailing slash keeps lookalike paths (`crates/served/`)
+/// outside the allowance.
+const CONCURRENCY_DIRS: &[&str] = &["crates/serve/src/"];
+
 /// Sync primitive type names banned outside [`CONCURRENCY_MODULES`].
 /// `Arc` is deliberately absent: immutable sharing is harmless and
 /// widespread (packed traces, spec tables).
@@ -318,7 +325,9 @@ const SYNC_PRIMITIVES: &[&str] = &["Mutex", "RwLock", "Condvar", "OnceLock", "mp
 const THREAD_CALLS: &[&str] = &["spawn", "scope", "yield_now", "park", "sleep"];
 
 fn t001_thread_primitives(f: &File, out: &mut Vec<Finding>) {
-    if CONCURRENCY_MODULES.contains(&f.path.as_str()) {
+    if CONCURRENCY_MODULES.contains(&f.path.as_str())
+        || CONCURRENCY_DIRS.iter().any(|d| f.path.starts_with(d))
+    {
         return;
     }
     for (i, tok) in f.tokens.iter().enumerate() {
@@ -339,8 +348,9 @@ fn t001_thread_primitives(f: &File, out: &mut Vec<Finding>) {
                 tok.line,
                 format!(
                     "`{text}` outside an approved concurrency module: threads and \
-                     sync primitives live only in {}",
-                    CONCURRENCY_MODULES.join(", ")
+                     sync primitives live only in {} and under {}",
+                    CONCURRENCY_MODULES.join(", "),
+                    CONCURRENCY_DIRS.join(", ")
                 ),
             ));
         }

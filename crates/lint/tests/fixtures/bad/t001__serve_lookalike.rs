@@ -1,0 +1,11 @@
+//@ path: crates/served/src/pool.rs
+//@ expect: T001 7
+//@ expect: T001 10
+// The serve allowance is a directory *prefix* with a trailing slash:
+// a crate whose name merely starts with "serve" (here `served`) gets
+// no exemption.
+use std::sync::Mutex;
+
+pub struct NotExempt {
+    pub guard: Mutex<u32>,
+}

@@ -1,0 +1,17 @@
+//@ path: crates/serve/src/server.rs
+// The experiment service is concurrent by design: every module under
+// crates/serve/src/ is inside the T001 allowance, so worker pools,
+// signal flags and queue locks are all fine here.
+use std::sync::atomic::AtomicBool;
+use std::sync::{Condvar, Mutex};
+
+pub struct Pool {
+    pub queue: Mutex<Vec<u32>>,
+    pub wake: Condvar,
+    pub draining: AtomicBool,
+}
+
+pub fn workers() {
+    std::thread::spawn(|| {});
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,112 @@
+//! Command-line client for `pfsim-serve`.
+//!
+//! ```text
+//! pfsim-client submit spec.json [--out manifest.json]   # run + stream progress
+//! pfsim-client status                                   # server /status
+//! pfsim-client cancel job-3
+//! pfsim-client shutdown                                 # graceful drain
+//! ```
+//!
+//! `submit` streams per-cell progress, waits for the terminal state,
+//! fetches the manifest, validates it with the same typed reader
+//! `perfsmoke --check` uses, and (optionally) writes it to `--out`.
+
+use pfsim_analysis::Json;
+use pfsim_bench::cli::{Args, CLIENT_FLAGS};
+use pfsim_bench::Manifest;
+use pfsim_serve::Client;
+
+fn die(message: &str) -> ! {
+    eprintln!("pfsim-client: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args = Args::parse("pfsim-client", CLIENT_FLAGS);
+    let client = Client::new(args.host.clone(), args.port.unwrap_or(7077));
+    let mut pos = args.positional.iter().map(String::as_str);
+    match pos.next() {
+        Some("submit") => {
+            let Some(path) = pos.next() else {
+                die("submit needs a spec file (pfsim-client submit spec.json)");
+            };
+            submit(&client, path, args.out.as_deref());
+        }
+        Some("status") => match client.server_status() {
+            Ok(doc) => println!("{}", doc.render()),
+            Err(e) => die(&e),
+        },
+        Some("cancel") => {
+            let Some(job) = pos.next() else {
+                die("cancel needs a job id (pfsim-client cancel job-3)");
+            };
+            match client.cancel(job) {
+                Ok(doc) => println!("{}", doc.render()),
+                Err(e) => die(&e),
+            }
+        }
+        Some("shutdown") => {
+            if let Err(e) = client.shutdown() {
+                die(&e);
+            }
+            println!("pfsim-client: server draining");
+        }
+        Some(other) => die(&format!(
+            "unknown command '{other}' (expected submit, status, cancel or shutdown)"
+        )),
+        None => die("missing command (submit, status, cancel or shutdown)"),
+    }
+}
+
+fn submit(client: &Client, spec_path: &str, out: Option<&str>) {
+    let spec_text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("read {spec_path}: {e}")),
+    };
+    let job = match client.submit(&spec_text) {
+        Ok(j) => j,
+        Err(e) => die(&e),
+    };
+    println!("pfsim-client: submitted {job}");
+    if let Err(e) = client.watch(&job, |line| println!("{line}")) {
+        die(&format!("event stream: {e}"));
+    }
+    let status = match client.job_status(&job) {
+        Ok(s) => s,
+        Err(e) => die(&e),
+    };
+    let state = status
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown");
+    if state != "done" {
+        let detail = status
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("no detail");
+        die(&format!("{job} ended {state}: {detail}"));
+    }
+    let text = match client.manifest(&job) {
+        Ok(t) => t,
+        Err(e) => die(&e),
+    };
+    let manifest = match Manifest::parse(&text) {
+        Ok(m) => m,
+        Err(e) => die(&format!("{job} returned an invalid manifest: {e}")),
+    };
+    if let Some(out) = out {
+        if let Err(e) = std::fs::write(out, &text) {
+            die(&format!("write {out}: {e}"));
+        }
+    }
+    let hits = status.get("cache_hits").and_then(Json::as_u64).unwrap_or(0);
+    let misses = status
+        .get("cache_misses")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    println!(
+        "pfsim-client: {job} done: {} cells ({hits} cache hits, {misses} simulated), total_pclocks={}",
+        manifest.cells.len(),
+        manifest.total_pclocks
+    );
+}

@@ -1,0 +1,121 @@
+//! The manifest-hash result cache.
+//!
+//! Every simulated cell and every assembled manifest is stored under
+//! `<results>/cache/<kind>/<hash>.json`, keyed by a *key material*
+//! string that spells out everything the result depends on: the fully
+//! resolved configuration (`Debug` form — the same fingerprint idiom the
+//! warmup checkpoint store uses), the application, the problem size, the
+//! warmup prefix, and the producing build's `git describe`. The file
+//! stores the material alongside the value and a lookup verifies it, so
+//! a hash collision degrades to a cache miss, never a wrong result.
+//!
+//! Worker threads each hold a reference; the cache itself takes no locks
+//! — a lost race on `put` rewrites the same bytes, and `get` either sees
+//! a complete file or misses (writes go through a rename).
+
+use std::path::{Path, PathBuf};
+
+use pfsim_analysis::Json;
+
+/// An on-disk content-addressed store under a results directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    root: PathBuf,
+}
+
+impl Cache {
+    /// A cache rooted at `<results_dir>/cache`.
+    pub fn new(results_dir: &Path) -> Cache {
+        Cache {
+            root: results_dir.join("cache"),
+        }
+    }
+
+    fn entry_path(&self, kind: &str, material: &str) -> PathBuf {
+        self.root
+            .join(kind)
+            .join(format!("{:016x}.json", fnv1a(material)))
+    }
+
+    /// Looks `material` up in `kind`, returning the stored value only if
+    /// the stored key material matches exactly.
+    pub fn get(&self, kind: &str, material: &str) -> Option<Json> {
+        let text = std::fs::read_to_string(self.entry_path(kind, material)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("key")?.as_str()? != material {
+            return None; // hash collision: treat as a miss
+        }
+        doc.get("value").cloned()
+    }
+
+    /// Stores `value` under `material` in `kind` (best-effort: cache
+    /// write failures cost re-simulation, not correctness).
+    pub fn put(&self, kind: &str, material: &str, value: Json) {
+        let path = self.entry_path(kind, material);
+        if let Some(dir) = path.parent() {
+            if std::fs::create_dir_all(dir).is_err() {
+                return;
+            }
+        }
+        let doc = Json::obj(vec![("key", Json::str(material)), ("value", value)]);
+        // Write-then-rename so concurrent readers never see a torn file.
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, doc.render()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// 64-bit FNV-1a: tiny, dependency-free, and stable across runs. Only
+/// used to name cache files — collisions are caught by the stored key.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(name: &str) -> Cache {
+        let dir = std::env::temp_dir().join(format!("pfsim-serve-cache-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::new(&dir)
+    }
+
+    #[test]
+    fn round_trips_and_misses() {
+        let c = temp_cache("roundtrip");
+        assert!(c.get("cells", "k1").is_none());
+        c.put("cells", "k1", Json::uint(7));
+        assert_eq!(c.get("cells", "k1").unwrap().as_u64(), Some(7));
+        assert!(c.get("cells", "k2").is_none());
+        assert!(c.get("manifests", "k1").is_none(), "kinds are disjoint");
+    }
+
+    /// A file whose stored key disagrees with the looked-up material (a
+    /// forced "hash collision") reads as a miss, never as a wrong value.
+    #[test]
+    fn mismatched_key_material_is_a_miss() {
+        let c = temp_cache("collision");
+        c.put("cells", "honest", Json::uint(1));
+        let path = c.entry_path("cells", "honest");
+        let forged = Json::obj(vec![
+            ("key", Json::str("something else")),
+            ("value", Json::uint(2)),
+        ]);
+        std::fs::write(&path, forged.render()).unwrap();
+        assert!(c.get("cells", "honest").is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so cache files stay addressable across builds.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

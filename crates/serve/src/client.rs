@@ -1,0 +1,116 @@
+//! Client-side bindings for the service API (used by the `pfsim-client`
+//! binary and the end-to-end tests).
+
+use pfsim_analysis::Json;
+
+use crate::http;
+
+/// A handle on one `pfsim-serve` instance.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// Server host.
+    pub host: String,
+    /// Server port.
+    pub port: u16,
+}
+
+impl Client {
+    /// A client for `host:port`.
+    pub fn new(host: impl Into<String>, port: u16) -> Client {
+        Client {
+            host: host.into(),
+            port,
+        }
+    }
+
+    /// Raw GET, returning `(status, body)`.
+    pub fn get(&self, path: &str) -> Result<(u16, String), String> {
+        http::request(&self.host, self.port, "GET", path, None)
+    }
+
+    /// Raw POST, returning `(status, body)`.
+    pub fn post(&self, path: &str, body: Option<&str>) -> Result<(u16, String), String> {
+        http::request(&self.host, self.port, "POST", path, body)
+    }
+
+    /// Submits a wire spec; returns the job id (`job-<n>`) on 202.
+    pub fn submit(&self, spec_text: &str) -> Result<String, String> {
+        let (status, body) = self.post("/jobs", Some(spec_text))?;
+        if status != 202 {
+            return Err(format!(
+                "submit rejected ({status}): {}",
+                server_error(&body)
+            ));
+        }
+        let doc = Json::parse(&body)?;
+        doc.get("job")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("malformed accept response: {body}"))
+    }
+
+    /// Streams a job's NDJSON progress events, invoking `on_event` per
+    /// line, until the job reaches a terminal state.
+    pub fn watch(&self, job: &str, on_event: impl FnMut(&str)) -> Result<(), String> {
+        http::stream_lines(
+            &self.host,
+            self.port,
+            &format!("/jobs/{job}/events"),
+            on_event,
+        )
+    }
+
+    /// The job's status document.
+    pub fn job_status(&self, job: &str) -> Result<Json, String> {
+        let (status, body) = self.get(&format!("/jobs/{job}"))?;
+        if status != 200 {
+            return Err(format!("status {status}: {}", server_error(&body)));
+        }
+        Json::parse(&body)
+    }
+
+    /// The finished job's manifest text.
+    pub fn manifest(&self, job: &str) -> Result<String, String> {
+        let (status, body) = self.get(&format!("/jobs/{job}/manifest"))?;
+        if status != 200 {
+            return Err(format!("manifest {status}: {}", server_error(&body)));
+        }
+        Ok(body)
+    }
+
+    /// The server's `/status` document (queue, job counts, metrics).
+    pub fn server_status(&self) -> Result<Json, String> {
+        let (status, body) = self.get("/status")?;
+        if status != 200 {
+            return Err(format!("status {status}: {}", server_error(&body)));
+        }
+        Json::parse(&body)
+    }
+
+    /// Requests cancellation; returns the job's status document.
+    pub fn cancel(&self, job: &str) -> Result<Json, String> {
+        let (status, body) = self.post(&format!("/jobs/{job}/cancel"), None)?;
+        if status != 200 {
+            return Err(format!("cancel {status}: {}", server_error(&body)));
+        }
+        Json::parse(&body)
+    }
+
+    /// Asks the server to drain and exit once all jobs finish.
+    pub fn shutdown(&self) -> Result<(), String> {
+        let (status, body) = self.post("/shutdown", None)?;
+        if status != 200 {
+            return Err(format!("shutdown {status}: {}", server_error(&body)));
+        }
+        Ok(())
+    }
+}
+
+/// Pulls the `error` field out of an error body, falling back to the
+/// raw text.
+fn server_error(body: &str) -> String {
+    Json::parse(body)
+        .ok()
+        .and_then(|doc| doc.get("error").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| body.to_string())
+}

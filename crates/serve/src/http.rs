@@ -1,0 +1,234 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! The service speaks exactly the subset it needs: one request per
+//! connection (`Connection: close`), JSON bodies, and a streamed
+//! NDJSON response for progress events. Hand-rolling this keeps the
+//! server dependency-free; the request reader enforces hard limits on
+//! header and body size so a misbehaving client cannot balloon memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use pfsim_analysis::Json;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (a wire spec is a few KiB; a megabyte
+/// is already generous).
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method, uppercased as sent (`GET`, `POST`).
+    pub method: String,
+    /// The request target (path only; no query parsing).
+    pub path: String,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Reads one request from `stream`, enforcing the size limits.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    loop {
+        let before = head.len();
+        let n = reader
+            .read_line(&mut head)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".to_string());
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err("request head too large".to_string());
+        }
+        if head[before..].trim_end().is_empty() {
+            break; // blank line: end of headers
+        }
+    }
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let path = parts.next().ok_or("missing path")?.to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body too large".to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+/// The reason phrase for the handful of statuses the service uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete response with the given body and content type.
+pub fn respond_raw(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+/// Writes a complete JSON response.
+pub fn respond(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    respond_raw(stream, status, "application/json", &body.render())
+}
+
+/// Writes the response head for a streamed NDJSON body; the caller then
+/// writes one JSON document per line and closes the connection.
+pub fn start_ndjson(stream: &mut TcpStream) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Client side: performs one request against `host:port` and returns
+/// `(status, body)`. The connection is closed after the exchange.
+pub fn request(
+    host: &str,
+    port: u16,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect((host, port)).map_err(|e| format!("connect {host}:{port}: {e}"))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    stream.flush().map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("receive: {e}"))?;
+    split_response(&response)
+}
+
+/// Client side: streams an NDJSON response, invoking `on_line` for each
+/// non-empty body line until the server closes the connection.
+pub fn stream_lines(
+    host: &str,
+    port: u16,
+    path: &str,
+    mut on_line: impl FnMut(&str),
+) -> Result<(), String> {
+    let stream =
+        TcpStream::connect((host, port)).map_err(|e| format!("connect {host}:{port}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    writer.flush().map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut in_body = false;
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Ok(());
+        }
+        let trimmed = line.trim_end();
+        if !in_body {
+            if trimmed.is_empty() {
+                in_body = true;
+            }
+            continue;
+        }
+        if !trimmed.is_empty() {
+            on_line(trimmed);
+        }
+    }
+}
+
+/// Splits a raw HTTP response into `(status, body)`.
+pub fn split_response(response: &str) -> Result<(u16, String), String> {
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response (no header/body separator)")?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .ok_or("malformed status line")?
+        .parse::<u16>()
+        .map_err(|_| "malformed status code".to_string())?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_splits_into_status_and_body() {
+        let (status, body) =
+            split_response("HTTP/1.1 202 Accepted\r\nX: y\r\n\r\n{\"job\": \"job-1\"}").unwrap();
+        assert_eq!(status, 202);
+        assert_eq!(body, "{\"job\": \"job-1\"}");
+    }
+
+    #[test]
+    fn malformed_responses_are_errors() {
+        assert!(split_response("junk").is_err());
+        assert!(split_response("HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn reasons_cover_the_service_statuses() {
+        for s in [200, 202, 400, 404, 405, 409, 429, 503] {
+            assert!(!reason(s).is_empty());
+        }
+    }
+}

@@ -16,11 +16,22 @@ if [[ "${1:-}" == "--no-perf" ]]; then
     run_perf=0
 fi
 
-echo "==> experiment binaries use the ExperimentSpec API (no deprecated entry points)"
-if grep -rnE 'run_scheme|run_config|run_baseline_recording|characterization_run|run_logged' \
-    crates/bench/src/bin/; then
-    echo "error: deprecated experiment entry points in crates/bench/src/bin/" >&2
-    echo "       (drive runs through ExperimentSpec/Runner instead)" >&2
+echo "==> no deprecated entry points remain anywhere"
+# PR 8 deleted the #[deprecated] experiment shims outright; nothing in
+# the workspace may reintroduce the attribute (the lint crate's own
+# sources discuss lints by name and are exempt).
+if grep -rn '#\[deprecated' crates/ --include='*.rs' | grep -v '^crates/lint/'; then
+    echo "error: #[deprecated] shims found — delete the old entry point instead" >&2
+    exit 1
+fi
+
+echo "==> one CLI parser: binaries parse flags only through pfsim_bench::cli"
+# Every bench/serve binary must go through cli::Args so flags and error
+# messages stay identical across all of them; direct env::args access
+# outside the parser is the regression this guards against.
+if grep -rn 'env::args' crates/bench/src crates/serve/src | grep -v 'crates/bench/src/cli.rs'; then
+    echo "error: direct env::args access outside pfsim_bench::cli" >&2
+    echo "       (parse flags with cli::Args::parse so all binaries speak one CLI)" >&2
     exit 1
 fi
 
@@ -68,6 +79,54 @@ echo "==> sharded-kernel determinism gate (full matrix, 1/2/4-thread rotation)"
 # PFSIM_CHECK cell of the grid, judged at 2 threads). The litmus stage
 # above already proved the sharded oracle hook stream on every shape.
 cargo test -q -p pfsim-bench --release --offline --test sharded -- --include-ignored
+
+echo "==> pfsim-serve end-to-end (submit, cache replay, graceful drain)"
+# Boots the service on an ephemeral port, submits the 24-cell anchor
+# grid twice through pfsim-client, and checks the whole service
+# contract: the manifest validates and carries the BENCH_PR1 seed total
+# (14059066), the replay is answered 100% from the result cache with
+# byte-identical manifest bytes, and SIGTERM drains cleanly.
+serve_dir=$(mktemp -d)
+./target/release/pfsim-serve --port 0 --port-file "$serve_dir/port" \
+    --results-dir "$serve_dir/results" --workers 1 >"$serve_dir/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [[ -s "$serve_dir/port" ]] && break
+    sleep 0.1
+done
+[[ -s "$serve_dir/port" ]] || { cat "$serve_dir/serve.log" >&2; exit 1; }
+serve_port=$(cat "$serve_dir/port")
+cat > "$serve_dir/spec.json" <<'SPEC'
+{
+  "wire_version": 2,
+  "name": "ci-serve",
+  "size": "default",
+  "apps": ["MP3D", "Cholesky", "Water", "LU", "Ocean", "PTHOR"],
+  "variants": [
+    {"label": "baseline", "scheme": {"kind": "none"}, "config": {}},
+    {"label": "I-det(d=1)", "scheme": {"kind": "i-detection", "degree": 1}, "config": {}},
+    {"label": "D-det(d=1)", "scheme": {"kind": "d-detection", "degree": 1}, "config": {}},
+    {"label": "Seq(d=1)", "scheme": {"kind": "sequential", "degree": 1}, "config": {}}
+  ]
+}
+SPEC
+./target/release/pfsim-client --port "$serve_port" submit "$serve_dir/spec.json" \
+    --out "$serve_dir/first.json" > "$serve_dir/first.log"
+./target/release/pfsim-client --port "$serve_port" submit "$serve_dir/spec.json" \
+    --out "$serve_dir/second.json" > "$serve_dir/second.log"
+grep -q '"total_pclocks": 14059066' "$serve_dir/first.json" \
+    || { echo "error: serve manifest total diverged from the BENCH_PR1 seed" >&2; exit 1; }
+cmp "$serve_dir/first.json" "$serve_dir/second.json" \
+    || { echo "error: cache replay manifest is not byte-identical" >&2; exit 1; }
+grep -q '(24 cache hits, 0 simulated)' "$serve_dir/second.log" \
+    || { echo "error: replay was not answered entirely from the result cache" >&2
+         cat "$serve_dir/second.log" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" \
+    || { echo "error: pfsim-serve did not drain cleanly on SIGTERM" >&2; exit 1; }
+grep -q 'drained' "$serve_dir/serve.log" \
+    || { echo "error: drain never logged" >&2; cat "$serve_dir/serve.log" >&2; exit 1; }
+rm -rf "$serve_dir"
 
 if [[ "$run_perf" == 1 ]]; then
     echo "==> perfsmoke (throughput + packed pclock/bytes-per-op + manifest validation)"

@@ -68,7 +68,7 @@ impl DirRequest {
 /// Actions are returned in execution order; in particular `ReadMemory`
 /// before a `SendData` means the reply carries data read from local memory
 /// (the executor inserts the memory latency between them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirAction {
     /// Read the block from this node's local memory.
     ReadMemory,
@@ -133,7 +133,7 @@ impl ActionBuf {
     pub fn new() -> Self {
         ActionBuf {
             // Placeholder values; only `inline[..len.min(INLINE)]` is live.
-            inline: [DirAction::ReadMemory; Self::INLINE],
+            inline: std::array::from_fn(|_| DirAction::ReadMemory),
             len: 0,
             spill: Vec::new(),
         }
@@ -174,7 +174,7 @@ impl ActionBuf {
 
     /// Copies the actions into a `Vec` (test and debugging convenience).
     pub fn to_vec(&self) -> Vec<DirAction> {
-        self.iter().copied().collect()
+        self.iter().cloned().collect()
     }
 }
 
@@ -185,7 +185,7 @@ impl Default for ActionBuf {
 }
 
 /// Stable directory state of one block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirState {
     /// No cached copies; memory is current.
     Uncached,
@@ -287,10 +287,14 @@ impl Directory {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` is zero or exceeds the 64-node presence-vector
-    /// limit.
+    /// Panics if `nodes` is zero or exceeds the presence-vector limit
+    /// ([`crate::MAX_SHARERS`]).
     pub fn new(nodes: u16) -> Self {
-        assert!((1..=64).contains(&nodes), "nodes must be in 1..=64");
+        assert!(
+            (1..=crate::MAX_SHARERS as u16).contains(&nodes),
+            "nodes must be in 1..={}",
+            crate::MAX_SHARERS
+        );
         Directory {
             entries: PagedMap::new(),
             nodes,
@@ -308,7 +312,7 @@ impl Directory {
     pub fn state(&self, block: BlockAddr) -> DirState {
         self.entries
             .get(block.as_u64())
-            .map(|e| e.state)
+            .map(|e| e.state.clone())
             .unwrap_or(DirState::Uncached)
     }
 
@@ -339,7 +343,7 @@ impl Directory {
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, DirState)> + '_ {
         self.entries
             .iter()
-            .map(|(b, e)| (BlockAddr::new(b), e.state))
+            .map(|(b, e)| (BlockAddr::new(b), e.state.clone()))
     }
 
     /// Presents `request` to the home node.
@@ -525,7 +529,7 @@ impl Directory {
         // needs data, i.e. it *is* a read-exclusive.
         let request = match request {
             DirRequest::Upgrade { from } => {
-                let has_copy = matches!(*state, DirState::Shared(s) if s.contains(from));
+                let has_copy = matches!(&*state, DirState::Shared(s) if s.contains(from));
                 if has_copy {
                     request
                 } else {
@@ -535,12 +539,12 @@ impl Directory {
             other => other,
         };
         match request {
-            DirRequest::ReadShared { from, prefetch: _ } => match *state {
+            DirRequest::ReadShared { from, prefetch: _ } => match &*state {
                 DirState::Uncached | DirState::Shared(_) => {
                     Self::complete_from_memory(stats, state, request, actions);
                     None
                 }
-                DirState::Modified(owner) if owner != from => {
+                &DirState::Modified(owner) if owner != from => {
                     actions.push(DirAction::Fetch { owner });
                     Some(Txn {
                         request,
@@ -559,7 +563,7 @@ impl Directory {
                 }
             },
             DirRequest::ReadExclusive { from } | DirRequest::Upgrade { from } => {
-                match *state {
+                match &*state {
                     DirState::Uncached => {
                         Self::complete_from_memory(stats, state, request, actions);
                         None
@@ -579,18 +583,17 @@ impl Directory {
                             }
                             None
                         } else {
-                            stats.invalidations += u64::from(others.len());
+                            let remaining = others.len();
+                            stats.invalidations += u64::from(remaining);
                             actions.push(DirAction::Invalidate { targets: others });
                             Some(Txn {
                                 request,
-                                waiting: Waiting::Acks {
-                                    remaining: others.len(),
-                                },
+                                waiting: Waiting::Acks { remaining },
                                 wb_arrived: false,
                             })
                         }
                     }
-                    DirState::Modified(owner) if owner != from => {
+                    &DirState::Modified(owner) if owner != from => {
                         actions.push(DirAction::FetchInval { owner });
                         Some(Txn {
                             request,
@@ -671,7 +674,9 @@ impl Directory {
         stats.memory_supplied += 1;
         match request {
             DirRequest::ReadShared { from, prefetch } => {
-                let mut sharers = match *state {
+                // Take the existing sharer set (if any) rather than clone
+                // it: a wide set would otherwise allocate on every hit.
+                let mut sharers = match std::mem::replace(state, DirState::Uncached) {
                     DirState::Shared(s) => s,
                     _ => SharerSet::new(),
                 };

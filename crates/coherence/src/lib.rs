@@ -43,4 +43,4 @@ mod directory;
 mod sharers;
 
 pub use directory::{ActionBuf, DirAction, DirRequest, DirState, DirStats, Directory};
-pub use sharers::SharerSet;
+pub use sharers::{SharerSet, MAX_SHARERS};

@@ -1,14 +1,26 @@
 //! The full-map presence vector.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use pfsim_mem::NodeId;
+
+/// Number of 64-bit words in the wide representation.
+const WIDE_WORDS: usize = 4;
+
+/// Largest node index a [`SharerSet`] can record, plus one.
+pub const MAX_SHARERS: usize = WIDE_WORDS * 64;
 
 /// A full-map presence vector: one bit per node, recording which caches
 /// hold a copy of a block.
 ///
 /// The paper's 16-node system needs 16 bits per directory entry; this
-/// implementation supports up to 64 nodes.
+/// implementation supports up to [`MAX_SHARERS`] (256) nodes. Sets whose
+/// members all fit in the low 64 node indices — every set on meshes up to
+/// 8×8 — are stored inline in a single word; inserting a node ≥ 64
+/// promotes the set to a boxed 256-bit vector. Equality and hashing are
+/// representation-independent, so a promoted set that shrinks back into
+/// the low word still compares equal to an inline one.
 ///
 /// # Examples
 ///
@@ -24,73 +36,163 @@ use pfsim_mem::NodeId;
 /// s.remove(NodeId::new(3));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), [NodeId::new(9)]);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct SharerSet(u64);
+#[derive(Clone, Default)]
+pub struct SharerSet(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// All members < 64: a single word, no allocation.
+    Inline(u64),
+    /// At least one member ≥ 64 was inserted: full 256-bit map.
+    Wide(Box<[u64; WIDE_WORDS]>),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Inline(0)
+    }
+}
 
 impl SharerSet {
     /// The empty set.
     pub fn new() -> Self {
-        SharerSet(0)
+        SharerSet(Repr::Inline(0))
     }
 
     /// A set containing exactly `node`.
     pub fn singleton(node: NodeId) -> Self {
-        let mut s = SharerSet(0);
+        let mut s = SharerSet::new();
         s.insert(node);
         s
+    }
+
+    /// The set as a normalized word array (inline sets zero-extend).
+    fn words(&self) -> [u64; WIDE_WORDS] {
+        match &self.0 {
+            Repr::Inline(w) => {
+                let mut words = [0u64; WIDE_WORDS];
+                words[0] = *w;
+                words
+            }
+            Repr::Wide(words) => **words,
+        }
     }
 
     /// Adds `node`.
     ///
     /// # Panics
     ///
-    /// Panics if `node` is ≥ 64.
+    /// Panics if `node` is ≥ [`MAX_SHARERS`].
     pub fn insert(&mut self, node: NodeId) {
-        assert!(node.index() < 64, "SharerSet supports at most 64 nodes");
-        self.0 |= 1 << node.index();
+        let idx = node.index();
+        assert!(
+            idx < MAX_SHARERS,
+            "SharerSet supports at most {MAX_SHARERS} nodes"
+        );
+        match &mut self.0 {
+            Repr::Inline(w) if idx < 64 => *w |= 1 << idx,
+            Repr::Inline(w) => {
+                let mut words = Box::new([0u64; WIDE_WORDS]);
+                words[0] = *w;
+                words[idx / 64] |= 1 << (idx % 64);
+                self.0 = Repr::Wide(words);
+            }
+            Repr::Wide(words) => words[idx / 64] |= 1 << (idx % 64),
+        }
     }
 
     /// Removes `node`, returning whether it was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        let bit = 1u64 << node.index();
-        let was = self.0 & bit != 0;
-        self.0 &= !bit;
-        was
+        let idx = node.index();
+        match &mut self.0 {
+            Repr::Inline(w) => {
+                if idx >= 64 {
+                    return false;
+                }
+                let bit = 1u64 << idx;
+                let was = *w & bit != 0;
+                *w &= !bit;
+                was
+            }
+            Repr::Wide(words) => {
+                if idx >= MAX_SHARERS {
+                    return false;
+                }
+                let bit = 1u64 << (idx % 64);
+                let was = words[idx / 64] & bit != 0;
+                words[idx / 64] &= !bit;
+                was
+            }
+        }
     }
 
     /// Whether `node` is in the set.
-    pub fn contains(self, node: NodeId) -> bool {
-        node.index() < 64 && self.0 & (1 << node.index()) != 0
+    pub fn contains(&self, node: NodeId) -> bool {
+        let idx = node.index();
+        match &self.0 {
+            Repr::Inline(w) => idx < 64 && w & (1 << idx) != 0,
+            Repr::Wide(words) => idx < MAX_SHARERS && words[idx / 64] & (1 << (idx % 64)) != 0,
+        }
     }
 
     /// Number of sharers.
-    pub fn len(self) -> u32 {
-        self.0.count_ones()
+    pub fn len(&self) -> u32 {
+        match &self.0 {
+            Repr::Inline(w) => w.count_ones(),
+            Repr::Wide(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
     }
 
     /// Whether the set is empty.
-    pub fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        match &self.0 {
+            Repr::Inline(w) => *w == 0,
+            Repr::Wide(words) => words.iter().all(|w| *w == 0),
+        }
     }
 
     /// The set with `node` removed (non-mutating).
-    pub fn without(mut self, node: NodeId) -> SharerSet {
-        self.remove(node);
-        self
+    pub fn without(&self, node: NodeId) -> SharerSet {
+        let mut s = self.clone();
+        s.remove(node);
+        s
     }
 
     /// Iterates the members in ascending node order.
-    pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        let mut bits = self.0;
-        std::iter::from_fn(move || {
-            if bits == 0 {
-                None
-            } else {
-                let i = bits.trailing_zeros();
-                bits &= bits - 1;
-                Some(NodeId::new(i as u16))
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+        let mut words = self.words();
+        let mut word = 0usize;
+        std::iter::from_fn(move || loop {
+            if word >= WIDE_WORDS {
+                return None;
             }
+            if words[word] == 0 {
+                word += 1;
+                continue;
+            }
+            let i = words[word].trailing_zeros();
+            words[word] &= words[word] - 1;
+            return Some(NodeId::new((word * 64) as u16 + i as u16));
         })
+    }
+}
+
+impl PartialEq for SharerSet {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::Inline(a), Repr::Inline(b)) => a == b,
+            _ => self.words() == other.words(),
+        }
+    }
+}
+
+impl Eq for SharerSet {}
+
+impl Hash for SharerSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the normalized words so inline and wide sets with the same
+        // members hash identically.
+        self.words().hash(state);
     }
 }
 
@@ -152,8 +254,50 @@ mod tests {
         assert_eq!(format!("{s:?}"), "{2, 3}");
     }
 
+    #[test]
+    fn promotes_past_64_nodes() {
+        let mut s = SharerSet::new();
+        s.insert(NodeId::new(63));
+        s.insert(NodeId::new(64));
+        s.insert(NodeId::new(255));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId::new(63)));
+        assert!(s.contains(NodeId::new(64)));
+        assert!(s.contains(NodeId::new(255)));
+        assert!(!s.contains(NodeId::new(254)));
+        let got: Vec<_> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(got, [63, 64, 255]);
+    }
+
+    /// A promoted set whose high-word members are all removed compares
+    /// equal to (and hashes like) an inline set with the same members.
+    #[test]
+    fn wide_and_inline_are_interchangeable() {
+        use std::collections::hash_map::DefaultHasher;
+
+        let mut wide = SharerSet::singleton(NodeId::new(7));
+        wide.insert(NodeId::new(200));
+        assert!(wide.remove(NodeId::new(200)));
+        let inline = SharerSet::singleton(NodeId::new(7));
+        assert_eq!(wide, inline);
+
+        let hash = |s: &SharerSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&wide), hash(&inline));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 256 nodes")]
+    fn insert_past_max_panics() {
+        SharerSet::new().insert(NodeId::new(256));
+    }
+
     /// The bit-set agrees with an ordered-set reference model (seeded
-    /// cases).
+    /// cases), now over the full 256-node range so both representations
+    /// and the promotion boundary are exercised.
     #[test]
     fn matches_hashset_model() {
         let mut rng = SplitMix64::seed_from_u64(0x5a4e25);
@@ -162,7 +306,7 @@ mod tests {
             let mut s = SharerSet::new();
             let mut model = std::collections::BTreeSet::new();
             for _ in 0..len {
-                let node = rng.random_range(0u16..64);
+                let node = rng.random_range(0u16..MAX_SHARERS as u16);
                 if rng.random_bool() {
                     s.insert(NodeId::new(node));
                     model.insert(node);

@@ -357,6 +357,32 @@ fn distinct_blocks_are_independent() {
     assert_eq!(dir.state(b2), DirState::Shared(sharers(&[3])));
 }
 
+/// The presence vector must record sharers past node 64 (a 16×16 mesh has
+/// 256 of them) and invalidate every one on a write.
+#[test]
+fn wide_meshes_accumulate_and_invalidate_all_sharers() {
+    let mut dir = Directory::new(256);
+    let readers: Vec<u16> = (0..256).step_by(17).collect(); // 0, 17, ..., 255
+    for &i in &readers {
+        req(&mut dir, B, DirRequest::read_shared(n(i)));
+    }
+    assert_eq!(dir.state(B), DirState::Shared(sharers(&readers)));
+
+    let actions = req(&mut dir, B, DirRequest::ReadExclusive { from: n(255) });
+    let others: Vec<u16> = readers.iter().copied().filter(|&i| i != 255).collect();
+    assert_eq!(
+        actions,
+        [DirAction::Invalidate {
+            targets: sharers(&others)
+        }]
+    );
+    for _ in 0..others.len() {
+        inval_ack(&mut dir, B);
+    }
+    assert_eq!(dir.state(B), DirState::Modified(n(255)));
+    assert_eq!(dir.stats().invalidations, others.len() as u64);
+}
+
 /// A reference model: per-node cache states driven by the directory's
 /// actions, checked for the single-writer/multiple-reader invariant.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -75,6 +75,7 @@ pub use check::CheckSink;
 pub use checkpoint::Checkpoint;
 pub use config::{ConsistencyModel, RecordMisses, SystemConfig, SystemConfigBuilder};
 pub use experiment::Run;
+pub use pfsim_coherence::MAX_SHARERS;
 pub use pfsim_engine::metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use pfsim_engine::Cycle;
 pub use stats::{MissCause, MissRecord, NodeStats, SimResult};

@@ -1369,7 +1369,7 @@ impl<W: Workload> Core<'_, W> {
     fn exec_dir_actions(&mut self, h: u16, block: BlockAddr, actions: &ActionBuf, t0: Cycle) {
         let hi = h as usize - self.base;
         let mut data_ready = t0;
-        for action in actions.iter().copied() {
+        for action in actions.iter() {
             match action {
                 DirAction::ReadMemory => {
                     if self.fx.check_on() {
@@ -1387,7 +1387,7 @@ impl<W: Workload> Core<'_, W> {
                     }
                     self.nodes[hi].mem.serve(t0, self.cfg.mem_occupancy);
                 }
-                DirAction::SendData {
+                &DirAction::SendData {
                     to,
                     exclusive,
                     prefetch,

@@ -72,6 +72,19 @@ pub fn packed_stats(trace: &PackedTrace) -> TraceStats {
     stats_over(trace.num_cpus(), |cpu| trace.iter_cpu(cpu))
 }
 
+/// Per-block sharing record: exact for any processor count (an earlier
+/// bitmask encoding aliased cpus ≥ 32 and miscounted sharing on wide
+/// meshes).
+#[derive(Clone, Copy)]
+struct BlockTouch {
+    /// The first cpu to touch the block.
+    first: u32,
+    /// Whether a second, distinct cpu touched it.
+    multi: bool,
+    /// Whether any cpu wrote it.
+    written: bool,
+}
+
 /// Shared accumulator over per-CPU op streams (32-byte blocks).
 fn stats_over<I>(num_cpus: usize, lane: impl Fn(usize) -> I) -> TraceStats
 where
@@ -79,25 +92,31 @@ where
 {
     let g = Geometry::paper();
     let mut stats = TraceStats::default();
-    // block -> (reader/writer bitmask by cpu, written bitmask)
-    let mut touched: FxHashMap<u64, (u32, u32)> = FxHashMap::default();
+    let mut touched: FxHashMap<u64, BlockTouch> = FxHashMap::default();
     let mut pcs: FxHashSet<u32> = FxHashSet::default();
 
     for cpu in 0..num_cpus {
-        let bit = 1u32 << cpu.min(31);
-        for op in lane(cpu) {
+        let cpu = cpu as u32;
+        let mut touch = |block: u64, write: bool| {
+            let e = touched.entry(block).or_insert(BlockTouch {
+                first: cpu,
+                multi: false,
+                written: false,
+            });
+            e.multi |= e.first != cpu;
+            e.written |= write;
+        };
+        for op in lane(cpu as usize) {
             match op {
                 Op::Read { addr, pc } => {
                     stats.reads += 1;
                     pcs.insert(pc.as_u32());
-                    touched.entry(g.block_of(addr).as_u64()).or_default().0 |= bit;
+                    touch(g.block_of(addr).as_u64(), false);
                 }
                 Op::Write { addr, pc } => {
                     stats.writes += 1;
                     pcs.insert(pc.as_u32());
-                    let e = touched.entry(g.block_of(addr).as_u64()).or_default();
-                    e.0 |= bit;
-                    e.1 |= bit;
+                    touch(g.block_of(addr).as_u64(), true);
                 }
                 Op::Compute { cycles } => stats.compute_cycles += u64::from(cycles),
                 Op::Acquire { .. } => stats.acquires += 1,
@@ -110,12 +129,12 @@ where
     stats.footprint_blocks = touched.len() as u64;
     // The sums below are commutative, but walk the snapshot anyway: no
     // hash-ordered loop survives to be copied somewhere order-sensitive.
-    for (_, (toucher_mask, writer_mask)) in sorted_entries(&touched) {
-        if toucher_mask.count_ones() > 1 {
+    for (_, touch) in sorted_entries(&touched) {
+        if touch.multi {
             stats.shared_blocks += 1;
             // Communicated: the block is written and more than one
             // processor touches it, so ownership must move.
-            if *writer_mask != 0 {
+            if touch.written {
                 stats.communicated_blocks += 1;
             }
         }
@@ -165,6 +184,25 @@ mod tests {
         let s = trace_stats(&micro::lock_ping_pong(4, 10));
         assert_eq!(s.acquires, 20);
         assert!(s.shared_blocks >= 1);
+    }
+
+    /// Sharing must be detected between cpus past index 31: the old
+    /// bitmask encoding aliased every cpu ≥ 31 onto one bit, so a block
+    /// shared only between (say) cpus 40 and 41 looked private.
+    #[test]
+    fn sharing_between_high_cpus_is_detected() {
+        let mut b = crate::TraceBuilder::new("hi-cpus", 64);
+        let arr = b.alloc("arr", 2, 32);
+        let pc = b.pc_site();
+        b.write(40, arr, pc);
+        b.read(41, arr, pc);
+        // Second block stays private to cpu 63.
+        let lone = b.element(arr, 32, 1);
+        b.read(63, lone, pc);
+        let s = trace_stats(&b.finish());
+        assert_eq!(s.footprint_blocks, 2);
+        assert_eq!(s.shared_blocks, 1);
+        assert_eq!(s.communicated_blocks, 1);
     }
 
     #[test]

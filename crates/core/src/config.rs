@@ -213,6 +213,32 @@ impl SystemConfig {
         self
     }
 
+    /// Scales the machine to a `width`×`height` mesh, updating the node
+    /// count and the round-robin page placement coherently (the paper
+    /// stops at 4×4; the scaling study runs 8×8 and 16×16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the mesh exceeds the
+    /// directory's presence-vector limit
+    /// ([`pfsim_coherence::MAX_SHARERS`]).
+    pub fn with_mesh_dims(mut self, width: u16, height: u16) -> Self {
+        let nodes = width
+            .checked_mul(height)
+            .filter(|&n| (1..=pfsim_coherence::MAX_SHARERS as u16).contains(&n))
+            .unwrap_or_else(|| {
+                // pfsim-lint: allow(K002) -- configuration-time validation
+                panic!(
+                    "{width}x{height} mesh needs 1..={} nodes",
+                    pfsim_coherence::MAX_SHARERS
+                )
+            });
+        self.nodes = nodes;
+        self.mesh = MeshConfig::dims(width, height);
+        self.placement = PagePlacement::round_robin(nodes);
+        self
+    }
+
     /// The end-to-end latency of a read serviced by the SLC, in pclocks
     /// (derived: SLC service + FLC fill = 6 in the paper configuration).
     pub fn slc_read_latency(&self) -> u64 {
@@ -287,6 +313,20 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Scales the machine to a `width`×`height` mesh, updating the node
+    /// count and the round-robin page placement coherently (the paper
+    /// stops at 4×4; the scaling study runs 8×8 and 16×16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the mesh exceeds the
+    /// directory's presence-vector limit
+    /// ([`pfsim_coherence::MAX_SHARERS`]).
+    pub fn mesh_dims(mut self, width: u16, height: u16) -> Self {
+        self.cfg = self.cfg.with_mesh_dims(width, height);
+        self
+    }
+
     /// Selects the memory consistency model.
     pub fn consistency(mut self, model: ConsistencyModel) -> Self {
         self.cfg.consistency = model;
@@ -351,6 +391,25 @@ mod tests {
         assert_eq!(c.slc, SlcConfig::infinite());
         assert_eq!(c.geometry.block_bytes(), 64);
         assert_eq!(c.mem_occupancy, 6);
+    }
+
+    #[test]
+    fn mesh_dims_scales_nodes_and_placement() {
+        let c = SystemConfig::builder().mesh_dims(8, 8).build();
+        assert_eq!(c.nodes, 64);
+        assert_eq!(c.mesh, MeshConfig::dims(8, 8));
+        assert_eq!(c.placement, PagePlacement::round_robin(64));
+        // Router timing is unchanged from the paper's mesh.
+        assert_eq!(c.mesh.fall_through, MeshConfig::paper().fall_through);
+
+        let c = SystemConfig::builder().mesh_dims(16, 16).build();
+        assert_eq!(c.nodes, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh needs")]
+    fn mesh_dims_rejects_oversized_meshes() {
+        let _ = SystemConfig::builder().mesh_dims(32, 32);
     }
 
     #[test]

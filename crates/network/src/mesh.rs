@@ -17,9 +17,20 @@ pub struct MeshConfig {
 impl MeshConfig {
     /// The paper's network: a 4×4 mesh with a 3-cycle fall-through.
     pub fn paper() -> Self {
+        MeshConfig::dims(4, 4)
+    }
+
+    /// A `width`×`height` mesh with the paper's router timing (scaling
+    /// study; the paper itself stops at 4×4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn dims(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
         MeshConfig {
-            width: 4,
-            height: 4,
+            width,
+            height,
             fall_through: 3,
         }
     }

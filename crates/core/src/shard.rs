@@ -705,6 +705,29 @@ mod tests {
         }
     }
 
+    /// Shard partitioning must stay correct when `nodes % threads != 0`:
+    /// the remainder lands in the final (short) shard and results remain
+    /// bit-identical to the serial kernel. Exercises a non-square 3×3
+    /// mesh and an 8×8 mesh at thread counts that leave remainders.
+    #[test]
+    fn sharded_matches_serial_when_nodes_do_not_divide_evenly() {
+        for (width, height, threads) in [(3u16, 3u16, 2usize), (8, 8, 3), (8, 8, 7)] {
+            let nodes = usize::from(width * height);
+            let cfg = SystemConfig::builder()
+                .mesh_dims(width, height)
+                .scheme(Scheme::Sequential { degree: 1 })
+                .build();
+            let wl = micro::producer_consumer(nodes, 32);
+            let serial = System::new(cfg.clone(), wl.clone()).run();
+            let sharded = System::new(cfg.clone(), wl.clone()).run_threads(threads);
+            identical(
+                &serial,
+                &sharded,
+                &format!("{width}x{height} @ {threads} threads"),
+            );
+        }
+    }
+
     #[test]
     fn sharded_matches_serial_with_instrumentation() {
         let cfg = SystemConfig::paper_baseline()

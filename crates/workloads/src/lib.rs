@@ -14,6 +14,14 @@
 //! uses to explain its results. See `DESIGN.md` for the substitution
 //! rationale.
 //!
+//! Beyond the paper's six, three *modern* families probe access patterns
+//! the 1995 suite under-represents: [`chase`] (pointer-chasing linked
+//! structures), [`mstride`] (multi-strided nested loops) and [`server`]
+//! (irregular, large-footprint mixed traffic). All generators accept a
+//! `cpus` parameter, so the same algorithm re-partitions onto larger
+//! meshes; [`App::build_packed_for`] selects family, [`ProblemSize`] and
+//! processor count in one call.
+//!
 //! All generators are deterministic: the same parameters always produce the
 //! same trace.
 //!
@@ -35,13 +43,16 @@ mod op;
 mod packed;
 mod stats;
 
+pub mod chase;
 pub mod cholesky;
 pub mod fuzz;
 pub mod lu;
 pub mod micro;
 pub mod mp3d;
+pub mod mstride;
 pub mod ocean;
 pub mod pthor;
+pub mod server;
 pub mod water;
 
 pub use builder::TraceBuilder;
@@ -49,8 +60,19 @@ pub use op::{Op, TraceWorkload, Workload};
 pub use packed::{OpIter, PackedTrace, TraceCursor};
 pub use stats::{packed_stats, trace_stats, TraceStats};
 
-/// The six applications of the paper's evaluation, in its presentation
-/// order.
+/// A problem-size selector usable across every application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProblemSize {
+    /// Scaled-down inputs for tests and quick runs.
+    Default,
+    /// Inputs at (approximately) the paper's scale.
+    Paper,
+    /// Enlarged data sets (the §5.4 trend study).
+    Large,
+}
+
+/// The applications: the paper's six (in its presentation order) plus
+/// the three modern families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum App {
     /// Rarefied-fluid particle simulation (SPLASH).
@@ -65,10 +87,53 @@ pub enum App {
     Ocean,
     /// Parallel logic simulator (SPLASH).
     Pthor,
+    /// Pointer-chasing over randomized linked structures (modern).
+    Chase,
+    /// Multi-strided nested-loop kernel (modern).
+    Mstride,
+    /// Irregular request-serving mixed traffic (modern).
+    Server,
+}
+
+/// Expands to the preset of `$ty` selected by a [`ProblemSize`], with the
+/// processor count overridden. `$large` names the method backing
+/// `ProblemSize::Large` (PTHOR has no enlarged input, so it re-uses
+/// `paper`, as the paper's §5.4 does).
+macro_rules! preset {
+    ($ty:ty, $size:expr, $cpus:expr) => {
+        preset!($ty, $size, $cpus, large)
+    };
+    ($ty:ty, $size:expr, $cpus:expr, $large:ident) => {{
+        let mut p = match $size {
+            ProblemSize::Default => <$ty>::default(),
+            ProblemSize::Paper => <$ty>::paper(),
+            ProblemSize::Large => <$ty>::$large(),
+        };
+        p.cpus = $cpus;
+        p
+    }};
+}
+
+/// Expands to the builder call for `$app` at `$size` with `$cpus`
+/// processors, invoking either `build` or `build_packed` per `$build`.
+macro_rules! dispatch {
+    ($app:expr, $size:expr, $cpus:expr, $build:ident) => {
+        match $app {
+            App::Mp3d => mp3d::$build(preset!(mp3d::Mp3dParams, $size, $cpus)),
+            App::Cholesky => cholesky::$build(preset!(cholesky::CholeskyParams, $size, $cpus)),
+            App::Water => water::$build(preset!(water::WaterParams, $size, $cpus)),
+            App::Lu => lu::$build(preset!(lu::LuParams, $size, $cpus)),
+            App::Ocean => ocean::$build(preset!(ocean::OceanParams, $size, $cpus)),
+            App::Pthor => pthor::$build(preset!(pthor::PthorParams, $size, $cpus, paper)),
+            App::Chase => chase::$build(preset!(chase::ChaseParams, $size, $cpus)),
+            App::Mstride => mstride::$build(preset!(mstride::MstrideParams, $size, $cpus)),
+            App::Server => server::$build(preset!(server::ServerParams, $size, $cpus)),
+        }
+    };
 }
 
 impl App {
-    /// All six applications in the paper's order.
+    /// The paper's six applications in its presentation order.
     pub const ALL: [App; 6] = [
         App::Mp3d,
         App::Cholesky,
@@ -76,6 +141,22 @@ impl App {
         App::Lu,
         App::Ocean,
         App::Pthor,
+    ];
+
+    /// The three modern workload families of the scaling study.
+    pub const MODERN: [App; 3] = [App::Chase, App::Mstride, App::Server];
+
+    /// Every application: the paper's six followed by the modern three.
+    pub const EVERY: [App; 9] = [
+        App::Mp3d,
+        App::Cholesky,
+        App::Water,
+        App::Lu,
+        App::Ocean,
+        App::Pthor,
+        App::Chase,
+        App::Mstride,
+        App::Server,
     ];
 
     /// The application's display name as used in the paper's tables.
@@ -87,79 +168,52 @@ impl App {
             App::Lu => "LU",
             App::Ocean => "Ocean",
             App::Pthor => "PTHOR",
+            App::Chase => "CHASE",
+            App::Mstride => "MSTRIDE",
+            App::Server => "SERVER",
         }
+    }
+
+    /// Builds the workload at `size` for a machine with `cpus`
+    /// processors. With `cpus == 16` this is identical to the fixed
+    /// builders below; other counts re-partition the same algorithm.
+    pub fn build_for(self, size: ProblemSize, cpus: usize) -> TraceWorkload {
+        dispatch!(self, size, cpus, build)
+    }
+
+    /// Packed counterpart of [`build_for`](Self::build_for).
+    pub fn build_packed_for(self, size: ProblemSize, cpus: usize) -> PackedTrace {
+        dispatch!(self, size, cpus, build_packed)
     }
 
     /// Builds the workload at the default (scaled-down) problem size.
     pub fn build_default(self) -> TraceWorkload {
-        match self {
-            App::Mp3d => mp3d::build(Default::default()),
-            App::Cholesky => cholesky::build(Default::default()),
-            App::Water => water::build(Default::default()),
-            App::Lu => lu::build(Default::default()),
-            App::Ocean => ocean::build(Default::default()),
-            App::Pthor => pthor::build(Default::default()),
-        }
+        self.build_for(ProblemSize::Default, 16)
     }
 
     /// Builds the workload at (approximately) the paper's problem size.
     pub fn build_paper(self) -> TraceWorkload {
-        match self {
-            App::Mp3d => mp3d::build(mp3d::Mp3dParams::paper()),
-            App::Cholesky => cholesky::build(cholesky::CholeskyParams::paper()),
-            App::Water => water::build(water::WaterParams::paper()),
-            App::Lu => lu::build(lu::LuParams::paper()),
-            App::Ocean => ocean::build(ocean::OceanParams::paper()),
-            App::Pthor => pthor::build(pthor::PthorParams::paper()),
-        }
+        self.build_for(ProblemSize::Paper, 16)
     }
 
     /// Builds the workload at an enlarged problem size (the §5.4 study).
     pub fn build_large(self) -> TraceWorkload {
-        match self {
-            App::Mp3d => mp3d::build(mp3d::Mp3dParams::large()),
-            App::Cholesky => cholesky::build(cholesky::CholeskyParams::large()),
-            App::Water => water::build(water::WaterParams::large()),
-            App::Lu => lu::build(lu::LuParams::large()),
-            App::Ocean => ocean::build(ocean::OceanParams::large()),
-            App::Pthor => pthor::build(pthor::PthorParams::paper()),
-        }
+        self.build_for(ProblemSize::Large, 16)
     }
 
     /// Packed counterpart of [`build_default`](Self::build_default).
     pub fn build_default_packed(self) -> PackedTrace {
-        match self {
-            App::Mp3d => mp3d::build_packed(Default::default()),
-            App::Cholesky => cholesky::build_packed(Default::default()),
-            App::Water => water::build_packed(Default::default()),
-            App::Lu => lu::build_packed(Default::default()),
-            App::Ocean => ocean::build_packed(Default::default()),
-            App::Pthor => pthor::build_packed(Default::default()),
-        }
+        self.build_packed_for(ProblemSize::Default, 16)
     }
 
     /// Packed counterpart of [`build_paper`](Self::build_paper).
     pub fn build_paper_packed(self) -> PackedTrace {
-        match self {
-            App::Mp3d => mp3d::build_packed(mp3d::Mp3dParams::paper()),
-            App::Cholesky => cholesky::build_packed(cholesky::CholeskyParams::paper()),
-            App::Water => water::build_packed(water::WaterParams::paper()),
-            App::Lu => lu::build_packed(lu::LuParams::paper()),
-            App::Ocean => ocean::build_packed(ocean::OceanParams::paper()),
-            App::Pthor => pthor::build_packed(pthor::PthorParams::paper()),
-        }
+        self.build_packed_for(ProblemSize::Paper, 16)
     }
 
     /// Packed counterpart of [`build_large`](Self::build_large).
     pub fn build_large_packed(self) -> PackedTrace {
-        match self {
-            App::Mp3d => mp3d::build_packed(mp3d::Mp3dParams::large()),
-            App::Cholesky => cholesky::build_packed(cholesky::CholeskyParams::large()),
-            App::Water => water::build_packed(water::WaterParams::large()),
-            App::Lu => lu::build_packed(lu::LuParams::large()),
-            App::Ocean => ocean::build_packed(ocean::OceanParams::large()),
-            App::Pthor => pthor::build_packed(pthor::PthorParams::paper()),
-        }
+        self.build_packed_for(ProblemSize::Large, 16)
     }
 }
 
@@ -175,7 +229,7 @@ mod tests {
 
     #[test]
     fn all_apps_build_at_default_size() {
-        for app in App::ALL {
+        for app in App::EVERY {
             let mut wl = app.build_default();
             assert_eq!(wl.num_cpus(), 16, "{app}");
             let total: usize = (0..16).map(|c| wl.remaining(c)).sum();
@@ -188,5 +242,38 @@ mod tests {
     fn names_match_paper_tables() {
         let names: Vec<_> = App::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names, ["MP3D", "Cholesky", "Water", "LU", "Ocean", "PTHOR"]);
+    }
+
+    #[test]
+    fn rosters_are_consistent() {
+        let every: Vec<_> = App::ALL.iter().chain(&App::MODERN).copied().collect();
+        assert_eq!(every, App::EVERY);
+        let names: Vec<_> = App::MODERN.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["CHASE", "MSTRIDE", "SERVER"]);
+    }
+
+    /// The fixed 16-cpu builders and the parameterized `build_for` must
+    /// agree exactly — the paper-grid anchors depend on it.
+    #[test]
+    fn build_for_matches_fixed_builders_at_16_cpus() {
+        for app in App::EVERY {
+            assert_eq!(
+                app.build_packed_for(ProblemSize::Default, 16),
+                app.build_default_packed(),
+                "{app}"
+            );
+        }
+    }
+
+    /// Re-partitioning onto a bigger machine gives every processor work.
+    #[test]
+    fn modern_apps_scale_to_64_cpus() {
+        for app in App::MODERN {
+            let mut wl = app.build_for(ProblemSize::Default, 64);
+            assert_eq!(wl.num_cpus(), 64, "{app}");
+            for cpu in 0..64 {
+                assert!(wl.next(cpu).is_some(), "{app} cpu {cpu} empty");
+            }
+        }
     }
 }

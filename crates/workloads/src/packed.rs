@@ -38,7 +38,7 @@ mod opcode {
 }
 
 /// One processor's packed streams.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct PackedLane {
     pub(crate) opcodes: Vec<u8>,
     pub(crate) payload: Vec<u32>,
@@ -213,7 +213,7 @@ fn decode(opcodes: &[u8], payload: &[u32], op_idx: usize, payload_idx: usize) ->
 /// let mut cursor = TraceCursor::new(trace);
 /// assert!(cursor.next(0).is_some());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedTrace {
     name: String,
     lanes: Vec<PackedLane>,

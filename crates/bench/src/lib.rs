@@ -9,7 +9,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use pfsim::{MissRecord, SimResult};
 use pfsim_analysis::{MissEvent, RunMetrics};
-use pfsim_workloads::{App, PackedTrace, TraceCursor, TraceWorkload};
+use pfsim_workloads::{App, PackedTrace, ProblemSize, TraceCursor, TraceWorkload};
 
 pub mod cli;
 pub mod ledger;
@@ -55,6 +55,15 @@ impl Size {
         }
     }
 
+    /// The workload-crate problem-size selector this bench size names.
+    pub fn problem(self) -> ProblemSize {
+        match self {
+            Size::Default => ProblemSize::Default,
+            Size::Paper => ProblemSize::Paper,
+            Size::Large => ProblemSize::Large,
+        }
+    }
+
     /// Builds `app` at this size as a materialized trace.
     pub fn build(self, app: App) -> TraceWorkload {
         match self {
@@ -74,25 +83,35 @@ impl Size {
     }
 }
 
-/// Per-process memoized trace cache: each `(app, size)` is generated
-/// exactly once, packed, and shared by every subsequent run.
+/// Per-process memoized trace cache: each `(app, size, cpus)` is
+/// generated exactly once, packed, and shared by every subsequent run.
 ///
 /// The per-key cell is initialized *outside* the map lock, so concurrent
 /// `par_map` workers asking for different traces generate them in
 /// parallel, while workers asking for the same trace block on one
 /// generation instead of duplicating it.
-static TRACE_CACHE: OnceLock<Mutex<HashMap<(App, Size), TraceCell>>> = OnceLock::new();
+static TRACE_CACHE: OnceLock<Mutex<TraceMap>> = OnceLock::new();
+
+/// The cache's key space: `(app, size, cpus)` → shared packed trace.
+type TraceMap = HashMap<(App, Size, u16), TraceCell>;
 
 /// One cache slot: a lazily-filled cell holding the shared packed trace.
 type TraceCell = Arc<OnceLock<Arc<PackedTrace>>>;
 
-/// The shared packed trace for `(app, size)`, generating it on first use.
+/// The shared packed trace for `(app, size)` on the paper's 16-processor
+/// machine, generating it on first use.
 pub fn shared_trace(app: App, size: Size) -> Arc<PackedTrace> {
+    shared_trace_for(app, size, 16)
+}
+
+/// The shared packed trace for `(app, size)` partitioned onto `cpus`
+/// processors — the big-mesh grids ask for 64 (8×8) or 256 (16×16).
+pub fn shared_trace_for(app: App, size: Size, cpus: u16) -> Arc<PackedTrace> {
     let cell = {
         let mut map = TRACE_CACHE.get_or_init(Default::default).lock().unwrap();
-        Arc::clone(map.entry((app, size)).or_default())
+        Arc::clone(map.entry((app, size, cpus)).or_default())
     };
-    Arc::clone(cell.get_or_init(|| Arc::new(size.build_packed(app))))
+    Arc::clone(cell.get_or_init(|| Arc::new(app.build_packed_for(size.problem(), cpus as usize))))
 }
 
 /// A fresh replay cursor over the cached shared trace for `(app, size)`.
@@ -101,6 +120,11 @@ pub fn shared_trace(app: App, size: Size) -> Arc<PackedTrace> {
 /// its own cursor, all cursors decode the same immutable packed trace.
 pub fn cursor(app: App, size: Size) -> TraceCursor {
     TraceCursor::new(shared_trace(app, size))
+}
+
+/// [`cursor`] for a machine with `cpus` processors.
+pub fn cursor_for(app: App, size: Size, cpus: u16) -> TraceCursor {
+    TraceCursor::new(shared_trace_for(app, size, cpus))
 }
 
 /// Converts a recorded miss stream into classifier input (thin wrapper
@@ -128,6 +152,21 @@ pub fn metrics_of(r: &SimResult) -> RunMetrics {
 /// which has been shown to be representative"; a corner node would
 /// under-represent Ocean's boundary exchanges).
 pub const RECORDED_CPU: usize = 5;
+
+/// The interior node a `width`×`height` mesh records: row 1, column 1 —
+/// the smallest-index node with four mesh neighbours (node 5 on the
+/// paper's 4×4, node 9 on 8×8, node 17 on 16×16).
+///
+/// # Panics
+///
+/// Panics if either dimension is below 3 (no interior exists).
+pub fn recorded_cpu_for(width: u16, height: u16) -> usize {
+    assert!(
+        width >= 3 && height >= 3,
+        "a {width}x{height} mesh has no interior node"
+    );
+    width as usize + 1
+}
 
 #[cfg(test)]
 mod tests {
@@ -198,5 +237,37 @@ mod tests {
     fn recorded_cpu_is_an_interior_mesh_node() {
         // 4x4 mesh: interior nodes are 5, 6, 9, 10.
         assert!([5usize, 6, 9, 10].contains(&RECORDED_CPU));
+    }
+
+    /// The scaled recording helper agrees with the pinned 4×4 constant
+    /// and picks interior nodes on the big meshes.
+    #[test]
+    fn recorded_cpu_scales_with_the_mesh() {
+        assert_eq!(recorded_cpu_for(4, 4), RECORDED_CPU);
+        assert_eq!(recorded_cpu_for(8, 8), 9);
+        assert_eq!(recorded_cpu_for(16, 16), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "no interior node")]
+    fn recorded_cpu_rejects_meshes_without_an_interior() {
+        recorded_cpu_for(2, 4);
+    }
+
+    /// The cpus-keyed cache keeps 16- and 64-processor partitions of the
+    /// same app distinct, and the 16-cpu key is the legacy entry point.
+    #[test]
+    fn shared_trace_is_keyed_by_cpus() {
+        let paper_machine = shared_trace(App::Chase, Size::Default);
+        let same = shared_trace_for(App::Chase, Size::Default, 16);
+        assert!(Arc::ptr_eq(&paper_machine, &same));
+        let big = shared_trace_for(App::Chase, Size::Default, 64);
+        assert!(!Arc::ptr_eq(&paper_machine, &big));
+        assert_eq!(paper_machine.num_cpus(), 16);
+        assert_eq!(big.num_cpus(), 64);
+        assert!(Arc::ptr_eq(
+            cursor_for(App::Chase, Size::Default, 64).trace(),
+            &big
+        ));
     }
 }

@@ -123,6 +123,7 @@ pub fn trace_json(t: &TraceInfo) -> Json {
     Json::obj(vec![
         ("app", Json::str(t.app.name())),
         ("size", Json::str(t.size.to_string())),
+        ("cpus", Json::uint(t.cpus as u64)),
         ("ops", Json::uint(t.ops)),
         ("packed_bytes", Json::uint(t.packed_bytes)),
         ("bytes_per_op", Json::Float(t.bytes_per_op)),

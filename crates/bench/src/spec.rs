@@ -34,7 +34,7 @@ use pfsim_check::ConsistencyOracle;
 use pfsim_prefetch::Scheme;
 use pfsim_workloads::{App, TraceCursor};
 
-use crate::{cursor, par_map, shared_trace, Size};
+use crate::{cursor_for, par_map, shared_trace_for, Size};
 
 /// One configuration column of an experiment grid.
 #[derive(Debug, Clone)]
@@ -269,20 +269,23 @@ impl Runner {
     pub fn execute(&self, spec: ExperimentSpec) -> ExperimentRun {
         let gen_start = Instant::now();
         let keys = trace_keys(&spec);
-        let describe = |app: App, size: Size| {
-            let t = shared_trace(app, size);
+        let describe = |app: App, size: Size, cpus: u16| {
+            let t = shared_trace_for(app, size, cpus);
             TraceInfo {
                 app,
                 size,
+                cpus,
                 ops: t.total_ops() as u64,
                 packed_bytes: t.packed_bytes() as u64,
                 bytes_per_op: t.bytes_per_op(),
             }
         };
         let traces = if spec.parallel && keys.len() > 1 {
-            par_map(keys, |(app, size)| describe(app, size))
+            par_map(keys, |(app, size, cpus)| describe(app, size, cpus))
         } else {
-            keys.into_iter().map(|(a, s)| describe(a, s)).collect()
+            keys.into_iter()
+                .map(|(a, s, c)| describe(a, s, c))
+                .collect()
         };
         let gen_seconds = gen_start.elapsed().as_secs_f64();
 
@@ -318,7 +321,8 @@ impl Runner {
                 sys = match ckpt {
                     Some(c) => System::restore(c),
                     None => {
-                        let mut s = System::new(cfg.with_scheme(Scheme::None), cursor(app, size));
+                        let cur = cursor_for(app, size, cfg.nodes);
+                        let mut s = System::new(cfg.with_scheme(Scheme::None), cur);
                         if checked {
                             s.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
                         }
@@ -329,7 +333,8 @@ impl Runner {
                 sys.reconfigure_scheme(scheme);
                 result = sys.run();
             } else {
-                sys = System::new(cfg, cursor(app, size));
+                let cur = cursor_for(app, size, cfg.nodes);
+                sys = System::new(cfg, cur);
                 if checked {
                     sys.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
                 }
@@ -394,7 +399,8 @@ impl Runner {
                 let key = format!("{app_idx}|{size:?}|{warm_cfg:?}");
                 if !checkpoints.contains_key(&key) {
                     let (geometry, nodes) = (warm_cfg.geometry, warm_cfg.nodes as usize);
-                    let mut sys = System::new(warm_cfg, cursor(app, size));
+                    let mut sys =
+                        System::new(warm_cfg.clone(), cursor_for(app, size, warm_cfg.nodes));
                     if checked {
                         sys.set_check_sink(Box::new(ConsistencyOracle::new(geometry, nodes)));
                     }
@@ -436,10 +442,11 @@ impl Default for Runner {
     }
 }
 
-/// The distinct `(app, size)` traces `spec` needs, in first-use order.
-fn trace_keys(spec: &ExperimentSpec) -> Vec<(App, Size)> {
-    let mut keys: Vec<(App, Size)> = Vec::new();
-    let mut push = |key: (App, Size)| {
+/// The distinct `(app, size, cpus)` traces `spec` needs, in first-use
+/// order — each variant's processor count is its configured node count.
+fn trace_keys(spec: &ExperimentSpec) -> Vec<(App, Size, u16)> {
+    let mut keys: Vec<(App, Size, u16)> = Vec::new();
+    let mut push = |key: (App, Size, u16)| {
         if !keys.contains(&key) {
             keys.push(key);
         }
@@ -447,11 +454,12 @@ fn trace_keys(spec: &ExperimentSpec) -> Vec<(App, Size)> {
     for &app in &spec.apps {
         if spec.variants.is_empty() {
             // Trace-only experiment (the workload characterization
-            // table): still generate and describe the traces.
-            push((app, spec.size));
+            // table): still generate and describe the traces, on the
+            // paper's 16-processor machine.
+            push((app, spec.size, 16));
         }
         for v in &spec.variants {
-            push((app, v.size.unwrap_or(spec.size)));
+            push((app, v.size.unwrap_or(spec.size), v.cfg.nodes));
         }
     }
     keys
@@ -480,6 +488,9 @@ pub struct TraceInfo {
     pub app: App,
     /// The problem size.
     pub size: Size,
+    /// Processors the trace was partitioned onto (the variant's node
+    /// count).
+    pub cpus: u16,
     /// Total operations across all processors.
     pub ops: u64,
     /// Resident bytes of the packed encoding.
@@ -593,14 +604,31 @@ mod tests {
         assert_eq!(
             trace_keys(&spec),
             vec![
-                (App::Mp3d, Size::Default),
-                (App::Mp3d, Size::Paper),
-                (App::Water, Size::Default),
-                (App::Water, Size::Paper),
+                (App::Mp3d, Size::Default, 16),
+                (App::Mp3d, Size::Paper, 16),
+                (App::Water, Size::Default, 16),
+                (App::Water, Size::Paper, 16),
             ]
         );
         // No variants: trace-only experiment still lists its apps.
         let spec = ExperimentSpec::new("t").apps([App::Lu]);
-        assert_eq!(trace_keys(&spec), vec![(App::Lu, Size::Default)]);
+        assert_eq!(trace_keys(&spec), vec![(App::Lu, Size::Default, 16)]);
+    }
+
+    /// A big-mesh variant pulls a re-partitioned trace: the key carries
+    /// its node count, distinct from the 16-processor column's.
+    #[test]
+    fn trace_keys_follow_variant_node_counts() {
+        let spec = ExperimentSpec::new("t")
+            .apps([App::Chase])
+            .variant("4x4", SystemConfig::paper_baseline())
+            .variant("8x8", SystemConfig::builder().mesh_dims(8, 8).build());
+        assert_eq!(
+            trace_keys(&spec),
+            vec![
+                (App::Chase, Size::Default, 16),
+                (App::Chase, Size::Default, 64),
+            ]
+        );
     }
 }

@@ -53,6 +53,9 @@ pub struct WireVariant {
     pub slc_ways: Option<usize>,
     /// Coherence block size override in bytes.
     pub block_bytes: Option<u64>,
+    /// Mesh dimensions override as `(width, height)` (`None` = the
+    /// paper's 4×4 machine).
+    pub mesh: Option<(u16, u16)>,
     /// Memory consistency model (release consistency by default).
     pub consistency: ConsistencyModel,
 }
@@ -66,6 +69,7 @@ impl WireVariant {
             slc_kb: None,
             slc_ways: None,
             block_bytes: None,
+            mesh: None,
             consistency: ConsistencyModel::Release,
         }
     }
@@ -81,6 +85,9 @@ impl WireVariant {
         }
         if let Some(bytes) = self.block_bytes {
             cfg = cfg.with_block_bytes(bytes);
+        }
+        if let Some((w, h)) = self.mesh {
+            cfg = cfg.with_mesh_dims(w, h);
         }
         cfg.with_consistency(self.consistency)
     }
@@ -294,9 +301,10 @@ impl WireSpec {
     }
 }
 
-/// Looks an application up by its paper-table name.
+/// Looks an application up by its table name (the paper's six plus the
+/// modern families).
 pub fn app_by_name(name: &str) -> Option<App> {
-    App::ALL.into_iter().find(|a| a.name() == name)
+    App::EVERY.into_iter().find(|a| a.name() == name)
 }
 
 fn variant_json(v: &WireVariant) -> Json {
@@ -309,6 +317,9 @@ fn variant_json(v: &WireVariant) -> Json {
     }
     if let Some(bytes) = v.block_bytes {
         config.push(("block_bytes".to_string(), Json::uint(bytes)));
+    }
+    if let Some((w, h)) = v.mesh {
+        config.push(("mesh".to_string(), Json::str(format!("{w}x{h}"))));
     }
     if v.consistency == ConsistencyModel::Sequential {
         config.push(("consistency".to_string(), Json::str("sequential")));
@@ -335,7 +346,7 @@ fn variant_from_json(v: &Json) -> Result<WireVariant, String> {
     let cfg_obj = config.as_object().ok_or("config is not an object")?;
     reject_unknown_keys(
         cfg_obj,
-        &["slc_kb", "slc_ways", "block_bytes", "consistency"],
+        &["slc_kb", "slc_ways", "block_bytes", "mesh", "consistency"],
         "config",
     )?;
     let slc_kb = match config.get("slc_kb") {
@@ -363,6 +374,10 @@ fn variant_from_json(v: &Json) -> Result<WireVariant, String> {
         }
         None => None,
     };
+    let mesh = match config.get("mesh") {
+        Some(v) => Some(parse_mesh(v.as_str().ok_or("mesh is not a string")?)?),
+        None => None,
+    };
     let consistency = match config.get("consistency") {
         None => ConsistencyModel::Release,
         Some(v) => match v.as_str() {
@@ -377,8 +392,30 @@ fn variant_from_json(v: &Json) -> Result<WireVariant, String> {
         slc_kb,
         slc_ways,
         block_bytes,
+        mesh,
         consistency,
     })
+}
+
+/// Parses a `"WxH"` mesh spelling, enforcing the directory's sharer
+/// limit the same way [`SystemConfig::with_mesh_dims`] does — a bad mesh
+/// fails validation instead of panicking mid-run.
+fn parse_mesh(text: &str) -> Result<(u16, u16), String> {
+    let (w, h) = text
+        .split_once('x')
+        .ok_or_else(|| format!("mesh '{text}' is not WxH"))?;
+    let parse = |s: &str| {
+        s.parse::<u16>()
+            .ok()
+            .filter(|&d| d > 0)
+            .ok_or_else(|| format!("mesh '{text}' has a bad dimension '{s}'"))
+    };
+    let (w, h) = (parse(w)?, parse(h)?);
+    let max = pfsim::MAX_SHARERS as u32;
+    if u32::from(w) * u32::from(h) > max {
+        return Err(format!("mesh '{text}' exceeds {max} nodes"));
+    }
+    Ok((w, h))
 }
 
 /// Encodes a scheme as a structured object (`{"kind": ..., ...}`), not
@@ -523,11 +560,51 @@ mod tests {
         spec.variants[2].slc_kb = Some(64);
         spec.variants[2].slc_ways = Some(4);
         spec.variants[2].block_bytes = Some(64);
+        spec.variants[2].mesh = Some((8, 8));
         spec.threads = 2;
         spec.instrument = true;
         spec.timeout_secs = Some(120);
         let text = spec.to_json().render();
         assert_eq!(WireSpec::parse(&text).unwrap(), spec);
+    }
+
+    /// The modern families are submittable by name, and a mesh override
+    /// resolves into a scaled machine configuration.
+    #[test]
+    fn modern_apps_and_meshes_round_trip() {
+        let mut spec = WireSpec::baseline_grid(
+            "modern",
+            Size::Default,
+            &[App::Chase, App::Mstride, App::Server],
+            &[Scheme::DDetection { degree: 1 }],
+        );
+        spec.variants[1].mesh = Some((16, 16));
+        let text = spec.to_json().render();
+        let parsed = WireSpec::parse(&text).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.cell_config(0).nodes, 16);
+        assert_eq!(parsed.cell_config(1).nodes, 256);
+        for app in App::EVERY {
+            assert_eq!(app_by_name(app.name()), Some(app), "{app}");
+        }
+    }
+
+    /// Mesh spellings outside `WxH` with both dimensions nonzero and the
+    /// product within the directory's sharer limit are rejected with the
+    /// offending text, not a mid-run panic.
+    #[test]
+    fn mesh_validation_rejects_bad_spellings() {
+        for bad in ["huge", "8", "8x", "x8", "0x4", "4x0", "32x32", "8x8x8"] {
+            let err = parse_mesh(bad).unwrap_err();
+            assert!(err.contains(bad), "{bad}: {err}");
+        }
+        assert_eq!(parse_mesh("4x4"), Ok((4, 4)));
+        assert_eq!(parse_mesh("16x16"), Ok((16, 16)));
+        assert_eq!(parse_mesh("2x128"), Ok((2, 128)));
+        // A malformed mesh inside a full document is a validation error.
+        let ok = grid().to_json().render();
+        let bad = ok.replacen("\"config\": {}", "\"config\": {\"mesh\": \"32x32\"}", 1);
+        assert!(WireSpec::parse(&bad).unwrap_err().contains("32x32"));
     }
 
     #[test]

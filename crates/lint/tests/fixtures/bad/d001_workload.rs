@@ -1,0 +1,8 @@
+//@ path: crates/workloads/src/chase.rs
+//@ expect: D001 5
+//@ expect: D001 6
+//@ expect: D001 7
+use std::collections::HashMap;
+pub fn ring(_nodes: usize) -> HashMap<u64, u64> {
+    HashMap::default()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/workloads/src/server.rs
+//@ expect: D002 5
+//@ expect: D002 6
+//@ expect: D002 7
+use std::time::Instant;
+pub fn request_seed() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//@ path: crates/workloads/src/mstride.rs
+//@ expect: D003 5
+use pfsim_mem::FxHashMap;
+pub fn emit(rows: &FxHashMap<u64, u64>) {
+    for (r, len) in rows.iter() {
+        println!("{r} {len}");
+    }
+}

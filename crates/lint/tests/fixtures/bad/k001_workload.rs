@@ -1,0 +1,7 @@
+//@ path: crates/workloads/src/mstride.rs
+//@ expect: K001 5
+//@ expect: K001 6
+pub fn poke(node: &mut Node) {
+    node.cpu_time += 4;
+    node.last_time = 9;
+}

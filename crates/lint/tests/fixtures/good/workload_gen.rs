@@ -1,0 +1,11 @@
+//@ path: crates/workloads/src/chase.rs
+use pfsim_mem::SplitMix64;
+pub fn permutation(n: u64, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let mut order: Vec<u64> = (0..n).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..(i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}

@@ -1,0 +1,8 @@
+//@ path: crates/workloads/src/server.rs
+// Generators run at trace-build time, not on the event hot path: K002
+// does not apply here, so parameter validation may panic outright.
+pub fn validate(cpus: usize) {
+    if cpus == 0 {
+        panic!("server workload needs at least one cpu");
+    }
+}

@@ -63,6 +63,12 @@ cargo test -q -p pfsim-bench --release --offline --test packed_replay
 echo "==> consistency litmus suite (all schemes x baseline/small-cache)"
 cargo test -q -p pfsim-check --release --offline --test litmus
 
+echo "==> modern-family oracle suite (chase/mstride/server x all schemes)"
+# One scaled-down cell per modern workload family under every prefetching
+# scheme with the oracle judging every load, plus the pinned CHASE
+# fuzz-seed set checked serial-vs-sharded.
+cargo test -q -p pfsim-check --release --offline --test families
+
 echo "==> pfsim-fuzz --smoke (200 seeded random traces, oracle on)"
 ./target/release/pfsim-fuzz --smoke
 
@@ -79,6 +85,19 @@ echo "==> sharded-kernel determinism gate (full matrix, 1/2/4-thread rotation)"
 # PFSIM_CHECK cell of the grid, judged at 2 threads). The litmus stage
 # above already proved the sharded oracle hook stream on every shape.
 cargo test -q -p pfsim-bench --release --offline --test sharded -- --include-ignored
+
+echo "==> big-mesh determinism gate (8x8 anchors, 1/2/4-thread rotation, checkpoint)"
+# The 64-node machine's pinned per-family pclock anchors, serial vs
+# sharded bit-identity for every modern family, and an 8x8 checkpoint
+# round-trip. PFSIM_CHECK=1 forks a live consistency oracle through
+# every cell of the spec-level grid, which must stay pclock-neutral.
+PFSIM_CHECK=1 cargo test -q -p pfsim-bench --release --offline --test bigmesh -- --include-ignored
+
+echo "==> workload characterization (Table 2 methodology on the modern families)"
+# Characterizes CHASE/MSTRIDE/SERVER at 4x4, 8x8, and paper scale; the
+# binary re-reads and validates the manifest it just wrote, so this
+# stage doubles as a manifest-discipline check for the big-mesh grid.
+./target/release/workload_char
 
 echo "==> pfsim-serve end-to-end (submit, cache replay, graceful drain)"
 # Boots the service on an ephemeral port, submits the 24-cell anchor

@@ -369,6 +369,28 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
             "schema_version {version} (expected {MANIFEST_SCHEMA_VERSION})"
         ));
     }
+    // Every key a producer can emit is listed in one of the
+    // `reject_unknown_keys` calls below; the S104 lint diffs these lists
+    // against the emitters, so a new emitted key fails lint (and a
+    // manifest with a drifted key fails validation) until both agree.
+    reject_unknown_keys(
+        doc,
+        "manifest",
+        &[
+            "schema_version",
+            "name",
+            "size",
+            "threads",
+            "git",
+            "unix_time",
+            "phases",
+            "total_pclocks",
+            "apps",
+            "variants",
+            "traces",
+            "cells",
+        ],
+    )?;
     let name = field(doc, "name")?
         .as_str()
         .ok_or("name is not a string")?
@@ -382,6 +404,11 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
         .ok_or("size is not a string")?
         .to_string();
     let phases = field(doc, "phases")?;
+    reject_unknown_keys(
+        phases,
+        "phases",
+        &["gen_seconds", "sim_seconds", "analyze_seconds"],
+    )?;
     let mut phase_seconds = [0.0f64; 3];
     for (slot, key) in ["gen_seconds", "sim_seconds", "analyze_seconds"]
         .into_iter()
@@ -416,6 +443,7 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
         .ok_or("variants is not an array")?;
     let mut variants = Vec::with_capacity(variant_docs.len());
     for (i, v) in variant_docs.iter().enumerate() {
+        reject_unknown_keys(v, "variant", &["label", "scheme", "size", "config"])?;
         let mut strings = ["label", "scheme"].into_iter().map(|key| {
             Ok::<String, String>(
                 field(v, key)?
@@ -425,9 +453,25 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
             )
         });
         let (label, scheme) = (strings.next().unwrap()?, strings.next().unwrap()?);
-        field(v, "config")?
+        let config = field(v, "config")?;
+        config
             .as_object()
             .ok_or_else(|| format!("variants[{i}].config is not an object"))?;
+        reject_unknown_keys(
+            config,
+            "config",
+            &[
+                "nodes",
+                "block_bytes",
+                "flc_bytes",
+                "flwb_entries",
+                "slwb_entries",
+                "slc",
+                "consistency",
+                "record_misses",
+                "instrument",
+            ],
+        )?;
         variants.push(ManifestVariant { label, scheme });
     }
     for (i, t) in field(doc, "traces")?
@@ -436,6 +480,11 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
         .iter()
         .enumerate()
     {
+        reject_unknown_keys(
+            t,
+            "trace",
+            &["app", "size", "cpus", "ops", "packed_bytes", "bytes_per_op"],
+        )?;
         for key in ["ops", "packed_bytes"] {
             field(t, key)?
                 .as_u64()
@@ -449,6 +498,42 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
     let mut cells = Vec::with_capacity(cell_docs.len());
     let mut cycle_sum: u64 = 0;
     for (i, cell) in cell_docs.iter().enumerate() {
+        reject_unknown_keys(
+            cell,
+            "cell",
+            &[
+                "app",
+                "variant",
+                "size",
+                "wall_seconds",
+                "exec_cycles",
+                "aggregates",
+                "net",
+                "dir",
+                "nodes",
+                "metrics",
+            ],
+        )?;
+        if let Some(net) = cell.get("net") {
+            reject_unknown_keys(
+                net,
+                "net",
+                &["messages", "flits", "flit_hops", "queuing_cycles"],
+            )?;
+        }
+        if let Some(dir) = cell.get("dir") {
+            reject_unknown_keys(
+                dir,
+                "dir",
+                &[
+                    "memory_supplied",
+                    "owner_supplied",
+                    "invalidations",
+                    "writebacks",
+                    "stale_writebacks",
+                ],
+            )?;
+        }
         let app = field(cell, "app")?
             .as_str()
             .ok_or_else(|| format!("cells[{i}].app is not a string"))?;
@@ -479,11 +564,54 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
         if nodes.is_empty() {
             return Err(format!("cells[{i}].nodes is empty"));
         }
+        for n in nodes {
+            reject_unknown_keys(
+                n,
+                "node",
+                &[
+                    "reads",
+                    "writes",
+                    "flc_read_hits",
+                    "slc_read_hits",
+                    "tagged_hits",
+                    "read_misses",
+                    "delayed_hits",
+                    "read_stall",
+                    "sync_stall",
+                    "write_stall",
+                    "barrier_stall",
+                    "flwb_stall",
+                    "prefetches_issued",
+                    "prefetches_useful",
+                    "pf_dropped_present",
+                    "pf_dropped_inflight",
+                    "pf_dropped_full",
+                    "cold_misses",
+                    "coherence_misses",
+                    "replacement_misses",
+                    "invals_received",
+                    "writebacks",
+                    "spurious_slc_wakeups",
+                ],
+            )?;
+        }
         let node_misses: Option<u64> = nodes
             .iter()
             .map(|n| field(n, "read_misses").ok()?.as_u64())
             .sum();
-        let aggregate_misses = field(field(cell, "aggregates")?, "read_misses")?
+        let aggregates = field(cell, "aggregates")?;
+        reject_unknown_keys(
+            aggregates,
+            "aggregates",
+            &[
+                "read_misses",
+                "read_stall",
+                "prefetches_issued",
+                "prefetches_useful",
+                "prefetch_efficiency",
+            ],
+        )?;
+        let aggregate_misses = field(aggregates, "read_misses")?
             .as_u64()
             .ok_or_else(|| format!("cells[{i}].aggregates.read_misses is not a u64"))?;
         if node_misses != Some(aggregate_misses) {
@@ -496,6 +624,16 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
         let metrics = field(cell, "metrics")?;
         if !matches!(metrics, Json::Null | Json::Object(_)) {
             return Err(format!("cells[{i}].metrics is neither null nor an object"));
+        }
+        if matches!(metrics, Json::Object(_)) {
+            reject_unknown_keys(metrics, "metrics", &["counters", "histograms"])?;
+            // Counter/histogram names are dynamic; the histogram record
+            // shape is not.
+            if let Some(hists) = metrics.get("histograms").and_then(Json::as_object) {
+                for (_, h) in hists {
+                    reject_unknown_keys(h, "histogram", &["count", "sum", "max", "buckets"])?;
+                }
+            }
         }
     }
     if cycle_sum != total_pclocks {
@@ -519,6 +657,22 @@ fn validate_doc(doc: &Json) -> Result<Manifest, String> {
 
 fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
     v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Errors on any key of the object `v` outside `allowed`. Missing keys
+/// are fine (optionality is each caller's business); unknown keys mean
+/// the producer and this validator have drifted. Non-objects pass —
+/// type errors are reported by the typed accessors with better context.
+fn reject_unknown_keys(v: &Json, ctx: &str, allowed: &[&str]) -> Result<(), String> {
+    let Some(members) = v.as_object() else {
+        return Ok(());
+    };
+    for (k, _) in members {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("{ctx}: unknown key '{k}'"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -563,7 +717,7 @@ mod tests {
                 {"app": "mp3d", "variant": 0, "exec_cycles": 200,
                  "nodes": [{"read_misses": 0}],
                  "aggregates": {"read_misses": 0},
-                 "metrics": {"observations": {}}}
+                 "metrics": {"counters": {}, "histograms": {}}}
             ]
         }"#
         .to_string()
@@ -637,10 +791,41 @@ mod tests {
         let text = minimal_manifest().replace("\"metrics\": null", "\"metrics\": \"corrupt\"");
         let err = check("corrupt-snapshot", &text).unwrap_err();
         assert!(err.contains("metrics"), "{err}");
-        let text =
-            minimal_manifest().replace("\"metrics\": {\"observations\": {}}", "\"metrics\": 17");
+        let text = minimal_manifest().replace(
+            "\"metrics\": {\"counters\": {}, \"histograms\": {}}",
+            "\"metrics\": 17",
+        );
         let err = check("numeric-snapshot", &text).unwrap_err();
         assert!(err.contains("metrics"), "{err}");
+    }
+
+    /// A key no producer emits is rejected at every nesting level the
+    /// validator guards (the reader half of the S104 agreement).
+    #[test]
+    fn validate_rejects_unknown_keys() {
+        for (case, from, to) in [
+            (
+                "top",
+                "\"name\": \"unit\"",
+                "\"name\": \"unit\", \"bogus\": 1",
+            ),
+            ("cell", "\"variant\": 0, ", "\"variant\": 0, \"bogus\": 1, "),
+            (
+                "node",
+                "{\"read_misses\": 3}",
+                "{\"read_misses\": 3, \"bogus\": 1}",
+            ),
+            (
+                "metrics",
+                "{\"counters\": {}, \"histograms\": {}}",
+                "{\"counters\": {}, \"histograms\": {}, \"bogus\": {}}",
+            ),
+        ] {
+            let text = minimal_manifest().replacen(from, to, 1);
+            assert_ne!(text, minimal_manifest(), "case {case}: replace missed");
+            let err = check(&format!("unknown-{case}"), &text).unwrap_err();
+            assert!(err.contains("unknown key 'bogus'"), "case {case}: {err}");
+        }
     }
 
     /// Per-node statistics must sum to the recorded aggregate.

@@ -35,9 +35,13 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lex;
 pub mod lints;
+pub mod model;
+pub mod parse;
 pub mod report;
+pub mod semantic;
 pub mod source;
 
 use std::path::{Path, PathBuf};

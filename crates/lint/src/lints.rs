@@ -6,7 +6,9 @@
 //! are workspace passes that need every file at once.
 
 use crate::lex::Kind;
+use crate::model::Model;
 use crate::report::Finding;
+use crate::semantic;
 use crate::source::File;
 
 /// Descriptor for one lint: stable ID plus one-line summary (for
@@ -55,6 +57,22 @@ pub const LINTS: &[Lint] = &[
     Lint {
         id: "S000",
         summary: "malformed pfsim-lint suppression comment (missing ids or ` -- reason`)",
+    },
+    Lint {
+        id: "S101",
+        summary: "snapshot modules must mention every field of each snapshotted struct (field-set diff)",
+    },
+    Lint {
+        id: "S102",
+        summary: "every CheckSink hook must be call-graph reachable from the core entry points",
+    },
+    Lint {
+        id: "S103",
+        summary: "code reachable from shard-worker entry points applies effects only through the Fx log",
+    },
+    Lint {
+        id: "S104",
+        summary: "wire/manifest/serve string-key sets emitted and accepted must agree symbolically",
     },
     Lint {
         id: "T001",
@@ -179,9 +197,26 @@ pub fn run_all(files: &[File]) -> Vec<Finding> {
     }
     m001_metric_names(files, &mut out);
     c001_oracle_coverage(files, &mut out);
+    let model = Model::build(files);
+    semantic::run(&model, &mut out);
+    annotate_symbols(&model, &mut out);
     apply_suppressions(files, &mut out);
     out.sort_by(|a, b| (&a.file, a.line, a.id).cmp(&(&b.file, b.line, b.id)));
     out
+}
+
+/// Attaches the enclosing function's symbol path and declaration line
+/// to every finding the symbol model can place (report schema v2).
+fn annotate_symbols(model: &Model, findings: &mut [Finding]) {
+    for fin in findings.iter_mut() {
+        let Some(fi) = model.file_index(&fin.file) else {
+            continue;
+        };
+        if let Some(id) = model.enclosing_fn(fi, fin.line) {
+            fin.symbol = Some(model.fn_path(id));
+            fin.symbol_line = Some(model.fn_item(id).line);
+        }
+    }
 }
 
 /// All file-local passes.
@@ -209,6 +244,8 @@ fn finding(f: &File, id: &'static str, line: u32, message: String) -> Finding {
         message,
         suppressed: false,
         reason: None,
+        symbol: None,
+        symbol_line: None,
     }
 }
 

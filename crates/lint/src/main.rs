@@ -4,9 +4,11 @@
 //! pfsim-lint [--root DIR] [--json PATH] [--list] [--quiet]
 //! ```
 //!
-//! Walks the workspace, runs every lint, prints `file:line: ID message`
+//! Walks the workspace, runs every lint (token scanners plus the
+//! S101–S104 semantic family), prints `file:line: ID message`
 //! diagnostics, and exits nonzero when any non-suppressed finding
-//! remains. With `--json PATH` the v1 report is written, read back and
+//! remains. With `--json PATH` the v2 report — per-finding symbol spans
+//! and a per-ID suppression summary — is written, read back and
 //! schema-validated (the same discipline as the run manifests).
 
 use std::path::PathBuf;
@@ -88,7 +90,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         // Read-back validation: the report on disk must parse and satisfy
-        // the v1 schema, or the run fails even with zero findings.
+        // the v2 schema, or the run fails even with zero findings.
         let reread = std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|text| Json::parse(&text))

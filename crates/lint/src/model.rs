@@ -1,0 +1,220 @@
+//! The workspace symbol model: every file's parsed items plus name
+//! indexes, built once per lint run and shared by the semantic lints.
+//!
+//! Parsing is memoized in a thread-local cache keyed by a 64-bit FNV-1a
+//! hash of the file *contents* (item structure is path-independent), so
+//! repeated runs over the same sources — the fixture suite lints
+//! hundreds of small workspaces, and `run_all` builds the model after
+//! the token passes — pay the parse cost once per distinct file.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::parse::{parse_items, FileItems, FnItem, StructItem};
+use crate::source::File;
+
+/// Identifies one function in the model: `(file index, fn index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnId {
+    /// Index into the model's file slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub idx: usize,
+}
+
+thread_local! {
+    /// Content-hash → parsed items. Thread-local (not a process-wide
+    /// lock) keeps the lint crate inside its own T001 rule.
+    static PARSE_CACHE: RefCell<HashMap<u64, Rc<FileItems>>> = RefCell::new(HashMap::new());
+}
+
+/// 64-bit FNV-1a over the source bytes: cheap, dependency-free, and
+/// collision-safe enough for a cache keyed by a few hundred files.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The symbol model over one workspace (or one fixture mini-workspace).
+pub struct Model<'a> {
+    /// The files, in the caller's (sorted) order.
+    pub files: &'a [File],
+    /// Parsed items, parallel to `files`.
+    pub items: Vec<Rc<FileItems>>,
+    fns_by_name: HashMap<String, Vec<FnId>>,
+    file_by_path: HashMap<String, usize>,
+}
+
+impl<'a> Model<'a> {
+    /// Builds (or fetches from cache) the model for `files`.
+    pub fn build(files: &'a [File]) -> Model<'a> {
+        let items: Vec<Rc<FileItems>> = files
+            .iter()
+            .map(|f| {
+                let key = fnv1a64(&f.src);
+                PARSE_CACHE.with(|c| {
+                    if let Some(hit) = c.borrow().get(&key) {
+                        return Rc::clone(hit);
+                    }
+                    let parsed = Rc::new(parse_items(f));
+                    c.borrow_mut().insert(key, Rc::clone(&parsed));
+                    parsed
+                })
+            })
+            .collect();
+        let mut fns_by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        let mut file_by_path = HashMap::new();
+        for (fi, (f, it)) in files.iter().zip(&items).enumerate() {
+            file_by_path.insert(f.path.clone(), fi);
+            for (idx, func) in it.fns.iter().enumerate() {
+                fns_by_name
+                    .entry(func.name.clone())
+                    .or_default()
+                    .push(FnId { file: fi, idx });
+            }
+        }
+        Model {
+            files,
+            items,
+            fns_by_name,
+            file_by_path,
+        }
+    }
+
+    /// The function behind `id`.
+    pub fn fn_item(&self, id: FnId) -> &FnItem {
+        &self.items[id.file].fns[id.idx]
+    }
+
+    /// The file a function lives in.
+    pub fn fn_file(&self, id: FnId) -> &File {
+        &self.files[id.file]
+    }
+
+    /// Every function named `name`, workspace-wide, in file order.
+    pub fn fns_named(&self, name: &str) -> &[FnId] {
+        self.fns_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the function's declaration sits in test code.
+    pub fn is_test_fn(&self, id: FnId) -> bool {
+        self.fn_file(id).in_test(self.fn_item(id).line)
+    }
+
+    /// File index for a workspace-relative path.
+    pub fn file_index(&self, path: &str) -> Option<usize> {
+        self.file_by_path.get(path).copied()
+    }
+
+    /// Every named-field struct called `name`, as `(file index, item)`.
+    pub fn structs_named(&self, name: &str) -> Vec<(usize, &StructItem)> {
+        let mut out = Vec::new();
+        for (fi, it) in self.items.iter().enumerate() {
+            for s in &it.structs {
+                if s.name == name && s.named {
+                    out.push((fi, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolves a struct name as seen from `use_file`: definitions in
+    /// the same crate win; a unique workspace-wide definition is
+    /// accepted otherwise; ambiguity resolves to `None` (never guess).
+    pub fn resolve_struct(&self, name: &str, use_file: usize) -> Option<&StructItem> {
+        let defs = self.structs_named(name);
+        let use_crate = self.files[use_file].crate_dir.as_deref();
+        let local: Vec<_> = defs
+            .iter()
+            .filter(|(fi, _)| self.files[*fi].crate_dir.as_deref() == use_crate)
+            .collect();
+        match (local.len(), defs.len()) {
+            (1, _) => Some(local[0].1),
+            (0, 1) => Some(defs[0].1),
+            _ => None,
+        }
+    }
+
+    /// The innermost function whose extent (declaration line through
+    /// body close) contains `line` in file `fi`.
+    pub fn enclosing_fn(&self, fi: usize, line: u32) -> Option<FnId> {
+        let f = &self.files[fi];
+        let mut best: Option<(u32, FnId)> = None;
+        for (idx, func) in self.items[fi].fns.iter().enumerate() {
+            let Some((_, close)) = func.body else {
+                if func.line == line {
+                    return Some(FnId { file: fi, idx });
+                }
+                continue;
+            };
+            let end_line = f.tokens.get(close).map_or(u32::MAX, |t| t.line);
+            if (func.line..=end_line).contains(&line) {
+                let width = end_line - func.line;
+                if best.is_none_or(|(w, _)| width <= w) {
+                    best = Some((width, FnId { file: fi, idx }));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// `Owner::name` or `name` — the symbol path used in diagnostics
+    /// and the v2 report.
+    pub fn fn_path(&self, id: FnId) -> String {
+        let f = self.fn_item(id);
+        match &f.owner {
+            Some(o) => format!("{o}::{}", f.name),
+            None => f.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_same_crate_first() {
+        let files = vec![
+            File::new("crates/core/src/a.rs", "struct S { x: u32 }"),
+            File::new("crates/bench/src/b.rs", "struct S { y: u32 }"),
+            File::new("crates/core/src/use_site.rs", "fn f() {}"),
+        ];
+        let m = Model::build(&files);
+        let s = m.resolve_struct("S", 2).unwrap();
+        assert_eq!(s.fields[0].0, "x");
+        // From the bench crate, the bench definition wins.
+        let s = m.resolve_struct("S", 1).unwrap();
+        assert_eq!(s.fields[0].0, "y");
+    }
+
+    #[test]
+    fn ambiguity_resolves_to_none() {
+        let files = vec![
+            File::new("crates/core/src/a.rs", "struct S { x: u32 }"),
+            File::new("crates/core/src/b.rs", "struct S { y: u32 }"),
+        ];
+        let m = Model::build(&files);
+        assert!(m.resolve_struct("S", 0).is_none());
+    }
+
+    #[test]
+    fn enclosing_fn_by_line() {
+        let files = vec![File::new(
+            "crates/core/src/a.rs",
+            "struct S;\nimpl S {\n    fn m(&self) {\n        let x = 1;\n    }\n}\nfn free() {\n}\n",
+        )];
+        let m = Model::build(&files);
+        let id = m.enclosing_fn(0, 4).unwrap();
+        assert_eq!(m.fn_path(id), "S::m");
+        let id = m.enclosing_fn(0, 8).unwrap();
+        assert_eq!(m.fn_path(id), "free");
+        assert!(m.enclosing_fn(0, 1).is_none());
+    }
+}

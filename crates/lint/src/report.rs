@@ -1,9 +1,12 @@
 //! Findings, diagnostics rendering, and the machine-readable JSON report.
 //!
-//! The JSON schema (v1) mirrors the run-manifest discipline: written with
+//! The JSON schema (v2) mirrors the run-manifest discipline: written with
 //! the in-tree `pfsim_analysis::Json` renderer, read back and validated
 //! before the tool exits, so a malformed report can never reach CI
-//! unnoticed.
+//! unnoticed. v2 adds per-finding symbol spans (the enclosing function's
+//! path and declaration line, from the workspace symbol model) and a
+//! per-lint-ID suppression-count summary (`by_id`) so dashboards can
+//! track lint debt across PRs.
 
 use pfsim_analysis::json::Json;
 
@@ -24,6 +27,11 @@ pub struct Finding {
     pub suppressed: bool,
     /// The suppression's written reason, when suppressed.
     pub reason: Option<String>,
+    /// Symbol path of the enclosing function (`System::restore`), when
+    /// the symbol model can place the finding inside one.
+    pub symbol: Option<String>,
+    /// 1-based line of that function's declaration.
+    pub symbol_line: Option<u32>,
 }
 
 impl Finding {
@@ -45,9 +53,26 @@ impl Finding {
 }
 
 /// Schema version of the JSON report.
-pub const SCHEMA: i64 = 1;
+pub const SCHEMA: i64 = 2;
 
-/// Renders the findings as the v1 JSON report.
+/// Per-ID `(total, suppressed)` counts, sorted by ID (the `by_id`
+/// suppression-debt summary).
+fn id_counts(findings: &[Finding]) -> Vec<(&'static str, u64, u64)> {
+    let mut counts: Vec<(&'static str, u64, u64)> = Vec::new();
+    for f in findings {
+        match counts.iter_mut().find(|(id, ..)| *id == f.id) {
+            Some((_, total, suppressed)) => {
+                *total += 1;
+                *suppressed += u64::from(f.suppressed);
+            }
+            None => counts.push((f.id, 1, u64::from(f.suppressed))),
+        }
+    }
+    counts.sort_by_key(|&(id, ..)| id);
+    counts
+}
+
+/// Renders the findings as the v2 JSON report.
 pub fn to_json(findings: &[Finding], files_scanned: usize) -> Json {
     let active = findings.iter().filter(|f| !f.suppressed).count();
     let suppressed = findings.len() - active;
@@ -64,6 +89,22 @@ pub fn to_json(findings: &[Finding], files_scanned: usize) -> Json {
             ]),
         ),
         (
+            "by_id",
+            Json::Array(
+                id_counts(findings)
+                    .into_iter()
+                    .map(|(id, total, supp)| {
+                        Json::obj(vec![
+                            ("id", Json::str(id)),
+                            ("total", Json::uint(total)),
+                            ("suppressed", Json::uint(supp)),
+                            ("active", Json::uint(total - supp)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "findings",
             Json::Array(
                 findings
@@ -76,6 +117,12 @@ pub fn to_json(findings: &[Finding], files_scanned: usize) -> Json {
                             ("message", Json::str(&*f.message)),
                             ("suppressed", Json::Bool(f.suppressed)),
                             ("reason", f.reason.as_deref().map_or(Json::Null, Json::str)),
+                            ("symbol", f.symbol.as_deref().map_or(Json::Null, Json::str)),
+                            (
+                                "symbol_line",
+                                f.symbol_line
+                                    .map_or(Json::Null, |l| Json::uint(u64::from(l))),
+                            ),
                         ])
                     })
                     .collect(),
@@ -84,8 +131,9 @@ pub fn to_json(findings: &[Finding], files_scanned: usize) -> Json {
     ])
 }
 
-/// Validates a parsed report against the v1 schema: version, count
-/// consistency, known lint IDs, sane spans. Returns the first problem.
+/// Validates a parsed report against the v2 schema: version, count
+/// consistency (global and per-ID), known lint IDs, sane spans, and
+/// symbol-span shape. Returns the first problem.
 pub fn validate_report(v: &Json) -> Result<(), String> {
     let schema = v
         .get("schema")
@@ -124,6 +172,7 @@ pub fn validate_report(v: &Json) -> Result<(), String> {
         return Err("counts.suppressed + counts.active != counts.total".to_string());
     }
     let mut seen_suppressed = 0u64;
+    let mut seen_by_id: Vec<(String, u64, u64)> = Vec::new();
     for f in findings {
         let id = f
             .get("id")
@@ -158,9 +207,65 @@ pub fn validate_report(v: &Json) -> Result<(), String> {
                 ));
             }
         }
+        // v2 symbol span: both fields present together or both null.
+        let symbol = f.get("symbol").ok_or("finding without symbol field")?;
+        let symbol_line = f
+            .get("symbol_line")
+            .ok_or("finding without symbol_line field")?;
+        match (symbol.as_str(), symbol_line.as_u64()) {
+            (Some(_), Some(l)) if l > 0 => {}
+            (Some(_), _) => {
+                return Err(format!("finding at {file}:{line} with symbol but bad line"))
+            }
+            (None, Some(_)) => {
+                return Err(format!(
+                    "finding at {file}:{line} with symbol_line but no symbol"
+                ))
+            }
+            (None, None) => {}
+        }
+        match seen_by_id.iter_mut().find(|(i, ..)| i == id) {
+            Some((_, t, s)) => {
+                *t += 1;
+                *s += u64::from(is_suppressed);
+            }
+            None => seen_by_id.push((id.to_string(), 1, u64::from(is_suppressed))),
+        }
     }
     if seen_suppressed != suppressed {
         return Err("counts.suppressed disagrees with findings".to_string());
+    }
+    // by_id must agree with the findings exactly.
+    let by_id = v
+        .get("by_id")
+        .and_then(Json::as_array)
+        .ok_or("missing by_id summary")?;
+    if by_id.len() != seen_by_id.len() {
+        return Err("by_id summary length disagrees with findings".to_string());
+    }
+    for entry in by_id {
+        let id = entry
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("by_id entry without id")?;
+        let total = entry
+            .get("total")
+            .and_then(Json::as_u64)
+            .ok_or("by_id entry without total")?;
+        let supp = entry
+            .get("suppressed")
+            .and_then(Json::as_u64)
+            .ok_or("by_id entry without suppressed")?;
+        let active = entry
+            .get("active")
+            .and_then(Json::as_u64)
+            .ok_or("by_id entry without active")?;
+        let Some((_, seen_t, seen_s)) = seen_by_id.iter().find(|(i, ..)| i == id) else {
+            return Err(format!("by_id entry `{id}` matches no finding"));
+        };
+        if total != *seen_t || supp != *seen_s || active != total - supp {
+            return Err(format!("by_id entry `{id}` disagrees with findings"));
+        }
     }
     Ok(())
 }
@@ -178,6 +283,8 @@ mod tests {
                 message: "bad".into(),
                 suppressed: false,
                 reason: None,
+                symbol: Some("System::restore".into()),
+                symbol_line: Some(2),
             },
             Finding {
                 id: "K002",
@@ -186,6 +293,8 @@ mod tests {
                 message: "bad".into(),
                 suppressed: true,
                 reason: Some("why".into()),
+                symbol: None,
+                symbol_line: None,
             },
         ]
     }
@@ -216,5 +325,40 @@ mod tests {
         let text = j.render().replace("D001", "Z999");
         let back = Json::parse(&text).unwrap();
         assert!(validate_report(&back).unwrap_err().contains("Z999"));
+    }
+
+    #[test]
+    fn validation_rejects_tampered_by_id_summary() {
+        let j = to_json(&sample(), 2);
+        // `"active": 0` occurs only in the by_id K002 entry.
+        let text = j.render().replace("\"active\": 0", "\"active\": 1");
+        let back = Json::parse(&text).unwrap();
+        assert!(validate_report(&back)
+            .unwrap_err()
+            .contains("disagrees with findings"));
+    }
+
+    #[test]
+    fn validation_rejects_dangling_symbol_line() {
+        let j = to_json(&sample(), 2);
+        let text = j
+            .render()
+            .replace("\"symbol\": \"System::restore\"", "\"symbol\": null");
+        let back = Json::parse(&text).unwrap();
+        assert!(validate_report(&back)
+            .unwrap_err()
+            .contains("symbol_line but no symbol"));
+    }
+
+    #[test]
+    fn by_id_summary_counts_per_lint() {
+        let j = to_json(&sample(), 2);
+        let back = Json::parse(&j.render()).unwrap();
+        let by_id = back.get("by_id").unwrap().as_array().unwrap();
+        assert_eq!(by_id.len(), 2);
+        assert_eq!(by_id[0].get("id").unwrap().as_str(), Some("D001"));
+        assert_eq!(by_id[0].get("active").unwrap().as_u64(), Some(1));
+        assert_eq!(by_id[1].get("id").unwrap().as_str(), Some("K002"));
+        assert_eq!(by_id[1].get("suppressed").unwrap().as_u64(), Some(1));
     }
 }

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/checkpoint.rs
+//@ expect: S101 10
+pub struct Checkpoint {
+    pub queue: u64,
+    pub nodes: u64,
+    pub started: bool,
+}
+
+pub fn snapshot(queue: u64, nodes: u64) -> Checkpoint {
+    Checkpoint {
+        queue,
+        nodes,
+    }
+}

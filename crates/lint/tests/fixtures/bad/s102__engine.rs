@@ -1,0 +1,8 @@
+//@ path: crates/core/src/engine.rs
+pub fn run(sink: &mut dyn CheckSink) {
+    sink.write_issued(1);
+}
+
+fn dead_audit(sink: &mut dyn CheckSink) {
+    sink.fill(2);
+}

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/shard.rs
+//@ expect: S103 12
+pub struct Worker {
+    queue: Queue,
+}
+
+impl Worker {
+    pub fn worker_loop(&mut self) {
+        self.flush();
+    }
+    fn flush(&mut self) {
+        self.queue.schedule(7);
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/bench/src/spec/wire.rs
+//@ expect: S104 8
+use pfsim_analysis::Json;
+
+pub fn to_json(ops: u64, warmup: u64) -> Json {
+    Json::obj(vec![
+        ("ops", Json::uint(ops)),
+        ("warmup", Json::uint(warmup)),
+    ])
+}
+
+pub fn from_json(doc: &Json) -> Result<u64, String> {
+    reject_unknown_keys(doc, &["ops"])?;
+    field(doc, "ops")?.as_u64().ok_or_else(|| "not a u64".to_string())
+}

@@ -1,0 +1,23 @@
+//@ path: crates/core/src/checkpoint.rs
+pub struct Checkpoint {
+    pub queue: u64,
+    pub nodes: u64,
+    pub started: bool,
+}
+
+pub fn snapshot(queue: u64, nodes: u64, started: bool) -> Checkpoint {
+    Checkpoint {
+        queue,
+        nodes,
+        started,
+    }
+}
+
+pub fn restore(c: Checkpoint) -> (u64, u64, bool) {
+    let Checkpoint {
+        queue,
+        nodes,
+        started,
+    } = c;
+    (queue, nodes, started)
+}

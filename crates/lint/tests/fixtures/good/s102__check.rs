@@ -1,0 +1,5 @@
+//@ path: crates/core/src/check.rs
+pub trait CheckSink {
+    fn write_issued(&mut self, n: u16);
+    fn fill(&mut self, n: u16);
+}

@@ -1,0 +1,9 @@
+//@ path: crates/core/src/engine.rs
+pub fn run(sink: &mut dyn CheckSink) {
+    sink.write_issued(1);
+    audit(sink);
+}
+
+fn audit(sink: &mut dyn CheckSink) {
+    sink.fill(2);
+}

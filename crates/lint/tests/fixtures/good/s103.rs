@@ -1,0 +1,13 @@
+//@ path: crates/core/src/shard.rs
+pub struct Worker {
+    fx: Fx,
+}
+
+impl Worker {
+    pub fn worker_loop(&mut self) {
+        self.flush();
+    }
+    fn flush(&mut self) {
+        self.fx.schedule(7);
+    }
+}

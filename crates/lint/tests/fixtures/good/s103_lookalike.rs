@@ -1,0 +1,12 @@
+//@ path: crates/core2/src/shard.rs
+// Same file name, same entry-point names, same direct queue call — but
+// the path is not crates/core/src/shard.rs, so S103 must stay silent.
+pub struct Worker {
+    queue: Queue,
+}
+
+impl Worker {
+    pub fn worker_loop(&mut self) {
+        self.queue.schedule(7);
+    }
+}

@@ -45,11 +45,19 @@ else
     echo "==> SKIPPED: cargo clippy is not installed on this toolchain"
 fi
 
-echo "==> pfsim-lint (workspace invariants; report -> results/lint.json)"
+echo "==> pfsim-lint (token + semantic S101-S104; report -> results/lint.json)"
 # The linter exits non-zero on any non-suppressed finding, and validates
 # the JSON report it just wrote before exiting (manifest discipline).
+# The semantic family runs off the workspace symbol model: S101 diffs
+# snapshot()/restore() field sets, S102 proves CheckSink hooks reachable,
+# S103 holds shard workers to the Fx effect log, S104 diffs wire/manifest
+# key sets between emitters and parsers. This stage runs BEFORE the
+# build, so deleting a restore field arm or a parser key fails here
+# first. The per-file content-hash parse cache keeps the stage warm-fast.
 mkdir -p results
 cargo run -q -p pfsim-lint --release --offline -- --json results/lint.json
+grep -q '"schema": 2' results/lint.json \
+    || { echo "FAIL: results/lint.json is not a schema-v2 report"; exit 1; }
 
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
